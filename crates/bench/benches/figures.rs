@@ -1,0 +1,75 @@
+//! Criterion benchmarks timing the computational kernels behind each figure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pim_core::scenario::StandardScenario;
+use pim_core::weighting::sensitivity_weighted_norm;
+use pim_passivity::check::assess;
+use pim_passivity::enforce::{enforce_passivity, EnforcementConfig, PerturbationNorm};
+use pim_pdn::{analytic_sensitivity, target_impedance};
+use pim_vectfit::{fit_magnitude, vector_fit, MagnitudeFitConfig, VfConfig};
+
+fn bench_figures(c: &mut Criterion) {
+    let sc = StandardScenario::reduced().expect("scenario");
+    let vf_cfg = VfConfig { n_poles: 14, n_iterations: 4, ..VfConfig::default() };
+    let xi = analytic_sensitivity(&sc.data, &sc.network, sc.observation_port).expect("xi");
+    let weights = pim_pdn::sensitivity::sensitivity_to_weights(&xi, 1e-2).expect("weights");
+    let weighted = vector_fit(&sc.data, Some(&weights), &vf_cfg).expect("weighted fit");
+    let omegas = sc.data.grid().omegas();
+    let (fo, fx): (Vec<f64>, Vec<f64>) =
+        omegas.iter().zip(&xi).filter(|(&w, _)| w > 0.0).map(|(&w, &x)| (w, x)).unzip();
+    let xi_model =
+        fit_magnitude(&fo, &fx, &MagnitudeFitConfig { order: 6, ..Default::default() }).expect("xi model");
+
+    c.bench_function("fig1_standard_vector_fit", |b| {
+        b.iter(|| vector_fit(&sc.data, None, &vf_cfg).expect("fit"))
+    });
+    c.bench_function("fig2_target_impedance", |b| {
+        b.iter(|| target_impedance(&sc.data, &sc.network, sc.observation_port).expect("zt"))
+    });
+    c.bench_function("fig3_sensitivity_and_magnitude_fit", |b| {
+        b.iter(|| {
+            let xi = analytic_sensitivity(&sc.data, &sc.network, sc.observation_port).expect("xi");
+            let (fo, fx): (Vec<f64>, Vec<f64>) =
+                omegas.iter().zip(&xi).filter(|(&w, _)| w > 0.0).map(|(&w, &x)| (w, x)).unzip();
+            fit_magnitude(&fo, &fx, &MagnitudeFitConfig { order: 6, ..Default::default() }).expect("fit")
+        })
+    });
+    c.bench_function("fig4_passivity_assessment", |b| {
+        b.iter(|| assess(&weighted.model, &omegas).expect("assess"))
+    });
+    let mut slow = c.benchmark_group("enforcement");
+    slow.sample_size(10);
+    slow.bench_function("fig5_weighted_enforcement", |b| {
+        b.iter(|| {
+            let norm = sensitivity_weighted_norm(&weighted.model, &xi_model).expect("norm");
+            let cfg = EnforcementConfig { sweep_points: 120, max_iterations: 60, sigma_margin: 1e-3, ..Default::default() };
+            enforce_passivity(&weighted.model, &norm, omegas.iter().copied().fold(0.0, f64::max), &cfg)
+        })
+    });
+    slow.bench_function("ablation_standard_norm_enforcement", |b| {
+        b.iter(|| {
+            let norm = PerturbationNorm::standard(&weighted.model).expect("norm");
+            let cfg = EnforcementConfig { sweep_points: 120, max_iterations: 60, sigma_margin: 1e-3, ..Default::default() };
+            enforce_passivity(&weighted.model, &norm, omegas.iter().copied().fold(0.0, f64::max), &cfg)
+        })
+    });
+    slow.finish();
+    c.bench_function("fig6_model_resampling", |b| {
+        b.iter(|| {
+            weighted
+                .model
+                .sample(sc.data.grid(), pim_rfdata::ParameterKind::Scattering, 50.0)
+                .expect("sample")
+        })
+    });
+    c.bench_function("ablation_sensitivity_order_4_vs_8", |b| {
+        b.iter(|| {
+            for order in [4usize, 8] {
+                fit_magnitude(&fo, &fx, &MagnitudeFitConfig { order, ..Default::default() }).expect("fit");
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

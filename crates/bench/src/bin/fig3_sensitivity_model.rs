@@ -1,0 +1,17 @@
+//! Figure 3: first-order sensitivity and its Magnitude-VF rational model.
+fn main() {
+    let (scenario, report) = pim_bench::run_reduced_flow();
+    println!("# Figure 3: sensitivity of the target impedance and rational model (dB)");
+    println!("{:>12} {:>12} {:>12}", "freq_Hz", "Xi_data_dB", "Xi_model_dB");
+    for (k, &f) in scenario.data.grid().freqs_hz().iter().enumerate() {
+        if f == 0.0 {
+            continue;
+        }
+        let w = 2.0 * std::f64::consts::PI * f;
+        let model = report.sensitivity_model.evaluate_magnitude(w).expect("model eval");
+        println!("{:>12.4e} {:>12.3} {:>12.3}",
+            f,
+            20.0 * report.sensitivity[k].max(1e-300).log10(),
+            20.0 * model.max(1e-300).log10());
+    }
+}

@@ -1,0 +1,32 @@
+//! # pim-bench
+//!
+//! Benchmark and figure-regeneration harness for the DATE 2014 reproduction.
+//!
+//! Every figure of the paper's evaluation section has a regeneration binary
+//! in `src/bin/` (printing the series the paper plots) and a Criterion
+//! benchmark in `benches/` timing the underlying computation. See
+//! `EXPERIMENTS.md` at the workspace root for the experiment index.
+
+#![deny(missing_docs)]
+
+use pim_core::flow::{run_flow, FlowConfig, FlowReport};
+use pim_core::scenario::StandardScenario;
+
+/// Builds the reduced reproduction scenario and runs the full flow, the
+/// shared setup of every figure binary.
+///
+/// # Panics
+///
+/// Panics on any failure of the underlying flow (the harness binaries are
+/// diagnostic tools, not library code).
+pub fn run_reduced_flow() -> (StandardScenario, FlowReport) {
+    let scenario = StandardScenario::reduced().expect("scenario construction");
+    let report = run_flow(
+        &scenario.data,
+        &scenario.network,
+        scenario.observation_port,
+        &FlowConfig::default(),
+    )
+    .expect("macromodeling flow");
+    (scenario, report)
+}

@@ -1,0 +1,349 @@
+//! The end-to-end PDN macromodeling flow of the paper.
+//!
+//! Given tabulated scattering data and the nominal termination scheme, the
+//! flow performs:
+//!
+//! 1. standard (unweighted) Vector Fitting — the conventional baseline;
+//! 2. computation of the first-order sensitivity `Ξ_k` of the target
+//!    impedance (eq. 5) and of the corresponding fitting weights (eq. 6);
+//! 3. sensitivity-weighted Vector Fitting;
+//! 4. Magnitude Vector Fitting of `Ξ_k` into the weighting model `Ξ̃(s)`
+//!    (eq. 15–17);
+//! 5. passivity assessment of the weighted model and, when violations exist,
+//!    passivity enforcement with the sensitivity-weighted norm (eq. 18–21) —
+//!    and optionally with the standard L2 norm, which is the comparison the
+//!    paper uses to demonstrate the accuracy loss of unweighted enforcement.
+
+use crate::weighting::sensitivity_weighted_norm;
+use crate::{CoreError, Result};
+use pim_passivity::check::assess;
+use pim_passivity::enforce::{enforce_passivity, EnforcementConfig, EnforcementOutcome, PerturbationNorm};
+use pim_passivity::PassivityError;
+use pim_pdn::sensitivity::sensitivity_to_weights;
+use pim_pdn::{analytic_sensitivity, target_impedance, TargetImpedance, TerminationNetwork};
+use pim_rfdata::{metrics, NetworkData, ParameterKind};
+use pim_statespace::PoleResidueModel;
+use pim_vectfit::{fit_magnitude, vector_fit, MagnitudeFitConfig, SensitivityModel, VfConfig, VfResult};
+
+/// Configuration of the full flow.
+#[derive(Debug, Clone)]
+pub struct FlowConfig {
+    /// Vector Fitting configuration (order, iterations, ...), shared by the
+    /// standard and the weighted fit.
+    pub vf: VfConfig,
+    /// Order `n_w` of the sensitivity weighting model (paper: 8).
+    pub sensitivity_order: usize,
+    /// Relative floor applied to the normalized sensitivity weights so that
+    /// no frequency is weighted exactly zero.
+    pub weight_floor: f64,
+    /// Passivity enforcement configuration (shared by the weighted and the
+    /// baseline enforcement).
+    pub enforcement: EnforcementConfig,
+    /// Also run the standard (unweighted-norm) enforcement on the weighted
+    /// model, to reproduce the paper's comparison (Fig. 5).
+    pub run_standard_enforcement: bool,
+}
+
+impl Default for FlowConfig {
+    fn default() -> Self {
+        FlowConfig {
+            vf: VfConfig { n_poles: 18, n_iterations: 6, ..VfConfig::default() },
+            sensitivity_order: 8,
+            weight_floor: 1e-2,
+            enforcement: EnforcementConfig::default(),
+            run_standard_enforcement: true,
+        }
+    }
+}
+
+/// Accuracy summary of one macromodel against the reference data.
+#[derive(Debug, Clone)]
+pub struct ModelEvaluation {
+    /// RMS error in the scattering representation (eq. 4, normalized).
+    pub scattering_rms_error: f64,
+    /// Relative RMS error of the target impedance with respect to the
+    /// nominal (data-based) target impedance.
+    pub impedance_relative_error: f64,
+    /// The macromodel-based target impedance.
+    pub impedance: TargetImpedance,
+}
+
+/// Full report of the macromodeling flow.
+#[derive(Debug, Clone)]
+pub struct FlowReport {
+    /// Target impedance computed from the raw data (the reference curve of
+    /// Figs. 2 and 5).
+    pub nominal_impedance: TargetImpedance,
+    /// The sensitivity samples `Ξ_k`.
+    pub sensitivity: Vec<f64>,
+    /// The normalized fitting weights derived from the sensitivity.
+    pub weights: Vec<f64>,
+    /// The rational weighting model `Ξ̃(s)`.
+    pub sensitivity_model: SensitivityModel,
+    /// The standard (unweighted) Vector Fitting result.
+    pub standard_fit: VfResult,
+    /// The sensitivity-weighted Vector Fitting result.
+    pub weighted_fit: VfResult,
+    /// Worst singular value of the weighted model before enforcement.
+    pub sigma_max_before: f64,
+    /// Outcome of the sensitivity-weighted passivity enforcement (`None` when
+    /// the weighted model was already passive).
+    pub weighted_enforcement: Option<EnforcementOutcome>,
+    /// Outcome of the standard-norm passivity enforcement on the same model
+    /// (`None` when disabled or the model was already passive). A
+    /// `NotConverged` failure is reported as `None` as well — the baseline is
+    /// only a comparison curve.
+    pub standard_enforcement: Option<EnforcementOutcome>,
+    /// Evaluation of the standard (unweighted) fitted model.
+    pub standard_model_eval: ModelEvaluation,
+    /// Evaluation of the weighted fitted model (before enforcement).
+    pub weighted_model_eval: ModelEvaluation,
+    /// Evaluation of the final sensitivity-weighted passive model.
+    pub weighted_passive_eval: ModelEvaluation,
+    /// Evaluation of the standard-norm passive model, when available.
+    pub standard_passive_eval: Option<ModelEvaluation>,
+}
+
+impl FlowReport {
+    /// The final deliverable of the flow: the passive, sensitivity-weighted
+    /// macromodel (the weighted fit itself when it was already passive).
+    pub fn final_model(&self) -> &PoleResidueModel {
+        match &self.weighted_enforcement {
+            Some(out) => &out.model,
+            None => &self.weighted_fit.model,
+        }
+    }
+}
+
+/// Evaluates a macromodel against the reference data and the nominal
+/// termination scheme: scattering RMS error plus target-impedance error.
+///
+/// # Errors
+///
+/// Propagates sampling, conversion and impedance computation failures.
+pub fn evaluate_model(
+    model: &PoleResidueModel,
+    data: &NetworkData,
+    network: &TerminationNetwork,
+    observation_port: usize,
+    nominal: &TargetImpedance,
+) -> Result<ModelEvaluation> {
+    let sampled = model.sample(data.grid(), ParameterKind::Scattering, data.z_ref())?;
+    let scattering_rms_error = metrics::rms_error(&sampled, data)?;
+    let impedance = target_impedance(&sampled, network, observation_port)?;
+    let impedance_relative_error =
+        metrics::relative_rms_error(&nominal.values, &impedance.values)?;
+    Ok(ModelEvaluation { scattering_rms_error, impedance_relative_error, impedance })
+}
+
+/// Runs the complete flow on a tabulated data set.
+///
+/// # Errors
+///
+/// Propagates failures of the individual stages; the *baseline* standard
+/// enforcement is allowed to fail (it is reported as `None`), but the
+/// sensitivity-weighted enforcement is not.
+pub fn run_flow(
+    data: &NetworkData,
+    network: &TerminationNetwork,
+    observation_port: usize,
+    config: &FlowConfig,
+) -> Result<FlowReport> {
+    if data.kind() != ParameterKind::Scattering {
+        return Err(CoreError::InvalidInput("the flow requires scattering data".into()));
+    }
+    // 1. Reference quantities.
+    let nominal_impedance = target_impedance(data, network, observation_port)?;
+    let sensitivity = analytic_sensitivity(data, network, observation_port)?;
+    let weights = sensitivity_to_weights(&sensitivity, config.weight_floor)?;
+
+    // 2. Standard and weighted fits.
+    let standard_fit = vector_fit(data, None, &config.vf)?;
+    let weighted_fit = vector_fit(data, Some(&weights), &config.vf)?;
+
+    // 3. Rational weighting model from the sensitivity samples (skip the DC
+    //    point, where ω = 0 carries no extra information for the magnitude
+    //    fit and the x = ω² mapping is degenerate).
+    let omegas = data.grid().omegas();
+    let (fit_omegas, fit_xi): (Vec<f64>, Vec<f64>) = omegas
+        .iter()
+        .zip(&sensitivity)
+        .filter(|(&w, _)| w > 0.0)
+        .map(|(&w, &x)| (w, x))
+        .unzip();
+    let sensitivity_model = fit_magnitude(
+        &fit_omegas,
+        &fit_xi,
+        &MagnitudeFitConfig { order: config.sensitivity_order, ..Default::default() },
+    )?;
+
+    // 4. Passivity assessment of the weighted model.
+    let band_max_omega = omegas.iter().copied().fold(0.0_f64, f64::max);
+    let report_before = assess(&weighted_fit.model, &omegas)?;
+    let sigma_max_before = report_before.sigma_max;
+
+    let (weighted_enforcement, standard_enforcement) = if report_before.passive {
+        (None, None)
+    } else {
+        let weighted_norm = sensitivity_weighted_norm(&weighted_fit.model, &sensitivity_model)?;
+        let weighted_out = enforce_passivity(
+            &weighted_fit.model,
+            &weighted_norm,
+            band_max_omega,
+            &config.enforcement,
+        )?;
+        let standard_out = if config.run_standard_enforcement {
+            let standard_norm = PerturbationNorm::standard(&weighted_fit.model)?;
+            match enforce_passivity(
+                &weighted_fit.model,
+                &standard_norm,
+                band_max_omega,
+                &config.enforcement,
+            ) {
+                Ok(out) => Some(out),
+                Err(PassivityError::NotConverged { .. }) => None,
+                Err(e) => return Err(e.into()),
+            }
+        } else {
+            None
+        };
+        (Some(weighted_out), standard_out)
+    };
+
+    // 5. Accuracy summaries.
+    let standard_model_eval =
+        evaluate_model(&standard_fit.model, data, network, observation_port, &nominal_impedance)?;
+    let weighted_model_eval =
+        evaluate_model(&weighted_fit.model, data, network, observation_port, &nominal_impedance)?;
+    let weighted_passive_model = match &weighted_enforcement {
+        Some(out) => out.model.clone(),
+        None => weighted_fit.model.clone(),
+    };
+    let weighted_passive_eval = evaluate_model(
+        &weighted_passive_model,
+        data,
+        network,
+        observation_port,
+        &nominal_impedance,
+    )?;
+    let standard_passive_eval = match &standard_enforcement {
+        Some(out) => Some(evaluate_model(
+            &out.model,
+            data,
+            network,
+            observation_port,
+            &nominal_impedance,
+        )?),
+        None => None,
+    };
+
+    Ok(FlowReport {
+        nominal_impedance,
+        sensitivity,
+        weights,
+        sensitivity_model,
+        standard_fit,
+        weighted_fit,
+        sigma_max_before,
+        weighted_enforcement,
+        standard_enforcement,
+        standard_model_eval,
+        weighted_model_eval,
+        weighted_passive_eval,
+        standard_passive_eval,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::StandardScenario;
+
+    fn quick_config() -> FlowConfig {
+        FlowConfig {
+            vf: VfConfig { n_poles: 18, n_iterations: 5, ..VfConfig::default() },
+            sensitivity_order: 6,
+            weight_floor: 1e-2,
+            enforcement: EnforcementConfig {
+                sweep_points: 200,
+                sigma_margin: 1e-3,
+                max_iterations: 60,
+                ..Default::default()
+            },
+            run_standard_enforcement: true,
+        }
+    }
+
+    #[test]
+    fn flow_reproduces_the_paper_claims_on_the_reduced_scenario() {
+        let sc = StandardScenario::reduced().unwrap();
+        let report = run_flow(&sc.data, &sc.network, sc.observation_port, &quick_config()).unwrap();
+
+        // Claim 1 (Fig. 1 / Fig. 2): the standard model is accurate in the
+        // scattering representation but the weighted model tracks the target
+        // impedance better.
+        assert!(report.standard_model_eval.scattering_rms_error < 1e-2);
+        assert!(
+            report.weighted_model_eval.impedance_relative_error
+                < report.standard_model_eval.impedance_relative_error,
+            "weighted fit ({}) must beat standard fit ({}) on the target impedance",
+            report.weighted_model_eval.impedance_relative_error,
+            report.standard_model_eval.impedance_relative_error
+        );
+        assert!(report.weighted_model_eval.impedance_relative_error < 0.15);
+
+        // Claim 2 (Fig. 3): the sensitivity decreases over the band and the
+        // weighting model tracks it where it matters.
+        let xi_low = report.sensitivity[1];
+        let xi_high = *report.sensitivity.last().unwrap();
+        assert!(xi_low > 10.0 * xi_high);
+
+        // Claim 3 (Fig. 4 / Fig. 5): the final weighted-enforcement model is
+        // passive and keeps the target impedance accurate.
+        let final_eval = &report.weighted_passive_eval;
+        assert!(final_eval.impedance_relative_error < 0.6);
+        let final_assessment = assess(
+            report.final_model(),
+            &sc.data.grid().omegas(),
+        )
+        .unwrap();
+        // The enforcement loop certifies passivity on its own (denser)
+        // sweep plus the Hamiltonian test; re-assessing on the coarser data
+        // grid may expose residual violations at the numerical-tolerance
+        // level between constrained frequencies, so allow a 1e-3 band.
+        assert!(
+            final_assessment.sigma_max <= 1.0 + 1e-3,
+            "final model must be (practically) passive, sigma_max = {}",
+            final_assessment.sigma_max
+        );
+        if let Some(out) = &report.weighted_enforcement {
+            assert!(out.report.passive, "enforcement must certify passivity on its own sweep");
+        }
+
+        // Claim 4: when the weighted model needs enforcement and the
+        // standard-norm baseline is available, the weighted enforcement
+        // preserves the target impedance at least as well.
+        if let (Some(_), Some(std_eval)) =
+            (&report.weighted_enforcement, &report.standard_passive_eval)
+        {
+            assert!(
+                final_eval.impedance_relative_error < std_eval.impedance_relative_error,
+                "weighted enforcement ({}) must beat standard enforcement ({})",
+                final_eval.impedance_relative_error,
+                std_eval.impedance_relative_error
+            );
+        }
+
+        // Bookkeeping invariants.
+        assert_eq!(report.weights.len(), sc.data.len());
+        assert!(report.weights.iter().all(|&w| w > 0.0 && w <= 1.0));
+        assert_eq!(report.sensitivity.len(), sc.data.len());
+    }
+
+    #[test]
+    fn flow_rejects_non_scattering_data() {
+        let sc = StandardScenario::reduced().unwrap();
+        let zdata = sc.data.to_impedance().unwrap();
+        assert!(run_flow(&zdata, &sc.network, sc.observation_port, &quick_config()).is_err());
+    }
+}

@@ -1,0 +1,208 @@
+//! The synthetic reproduction scenario: board, data set and nominal
+//! termination scheme matching Sec. IV of the paper.
+
+use crate::{CoreError, Result};
+use pim_circuit::board::{build_board, PdnBoardSpec, SyntheticPdn};
+use pim_pdn::{Termination, TerminationNetwork};
+use pim_rfdata::{FrequencyGrid, NetworkData};
+
+/// Parameters of the standard scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// Board description (grid size, electrical parameters, port placement).
+    pub board: PdnBoardSpec,
+    /// Number of logarithmically spaced frequency samples (the DC point is
+    /// added on top, as in the paper's data set).
+    pub frequency_samples: usize,
+    /// Lower band edge in hertz (paper: 1 kHz).
+    pub f_min_hz: f64,
+    /// Upper band edge in hertz (paper: 2 GHz).
+    pub f_max_hz: f64,
+    /// Scattering reference resistance (paper: 50 Ω).
+    pub z_ref: f64,
+    /// Decoupling capacitor value.
+    pub decap_capacitance: f64,
+    /// Decoupling capacitor ESR.
+    pub decap_esr: f64,
+    /// Decoupling capacitor ESL.
+    pub decap_esl: f64,
+    /// VRM series resistance.
+    pub vrm_resistance: f64,
+    /// VRM series inductance.
+    pub vrm_inductance: f64,
+    /// Die block series resistance.
+    pub die_resistance: f64,
+    /// Die block capacitance.
+    pub die_capacitance: f64,
+    /// Total switching current injected at the die ports (paper: 1 A).
+    pub total_current: f64,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            board: PdnBoardSpec::default(),
+            frequency_samples: 160,
+            f_min_hz: 1e3,
+            f_max_hz: 2e9,
+            z_ref: 50.0,
+            decap_capacitance: 10e-6,
+            decap_esr: 3e-3,
+            decap_esl: 0.6e-9,
+            vrm_resistance: 0.8e-3,
+            vrm_inductance: 15e-9,
+            die_resistance: 30e-3,
+            die_capacitance: 60e-9,
+            total_current: 1.0,
+        }
+    }
+}
+
+impl ScenarioConfig {
+    /// A reduced-size configuration (smaller board, fewer frequency samples)
+    /// used by tests and quick examples; it keeps the same qualitative
+    /// behaviour while running in a fraction of the time.
+    pub fn reduced() -> Self {
+        ScenarioConfig {
+            board: PdnBoardSpec {
+                nx: 4,
+                ny: 4,
+                die_ports: vec![(1, 1), (2, 2)],
+                decap_ports: vec![(0, 3)],
+                vrm_ports: vec![(3, 0)],
+                ..PdnBoardSpec::default()
+            },
+            frequency_samples: 80,
+            ..ScenarioConfig::default()
+        }
+    }
+}
+
+/// The assembled reproduction scenario: the synthetic "field-solver" data set
+/// and the nominal termination network.
+#[derive(Debug, Clone)]
+pub struct StandardScenario {
+    /// The board the data was generated from.
+    pub pdn: SyntheticPdn,
+    /// Tabulated scattering parameters (the macromodeling input).
+    pub data: NetworkData,
+    /// The nominal termination scheme (decaps, VRM, die blocks, excitation).
+    pub network: TerminationNetwork,
+    /// The die port at which the target impedance is observed.
+    pub observation_port: usize,
+    /// The configuration the scenario was built from.
+    pub config: ScenarioConfig,
+}
+
+impl StandardScenario {
+    /// Builds the scenario: generates the board, solves it over the frequency
+    /// grid, and assembles the termination network following the paper's
+    /// Sec. IV (short/RL at the VRM port, vendor-style decap models at the
+    /// board ports, series-RC die models carrying a total 1 A excitation
+    /// split equally, observation at the first die port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates board construction, solver and termination assembly
+    /// failures.
+    pub fn build(config: ScenarioConfig) -> Result<Self> {
+        let pdn = build_board(&config.board)?;
+        let grid =
+            FrequencyGrid::log_space(config.f_min_hz, config.f_max_hz, config.frequency_samples)?
+                .with_dc();
+        let data = pdn.circuit.scattering_parameters(&grid, config.z_ref)?;
+
+        let ports = pdn.ports();
+        let mut terminations = vec![Termination::Open; ports];
+        for &p in &pdn.die_ports {
+            terminations[p] = Termination::DieBlock {
+                resistance: config.die_resistance,
+                capacitance: config.die_capacitance,
+            };
+        }
+        for &p in &pdn.decap_ports {
+            terminations[p] = Termination::Decap {
+                capacitance: config.decap_capacitance,
+                esr: config.decap_esr,
+                esl: config.decap_esl,
+            };
+        }
+        for &p in &pdn.vrm_ports {
+            terminations[p] = Termination::SeriesRl {
+                resistance: config.vrm_resistance,
+                inductance: config.vrm_inductance,
+            };
+        }
+        let observation_port = *pdn
+            .die_ports
+            .first()
+            .ok_or_else(|| CoreError::InvalidInput("the board defines no die port".into()))?;
+        let network = TerminationNetwork::new(terminations)?
+            .with_excitation(pdn.die_ports.clone(), config.total_current)?;
+        Ok(StandardScenario { pdn, data, network, observation_port, config })
+    }
+
+    /// Convenience constructor for the default (paper-sized) scenario.
+    ///
+    /// # Errors
+    ///
+    /// See [`StandardScenario::build`].
+    pub fn standard() -> Result<Self> {
+        StandardScenario::build(ScenarioConfig::default())
+    }
+
+    /// Convenience constructor for the reduced test-sized scenario.
+    ///
+    /// # Errors
+    ///
+    /// See [`StandardScenario::build`].
+    pub fn reduced() -> Result<Self> {
+        StandardScenario::build(ScenarioConfig::reduced())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_pdn::{analytic_sensitivity, target_impedance};
+
+    #[test]
+    fn reduced_scenario_builds_and_is_consistent() {
+        let sc = StandardScenario::reduced().unwrap();
+        assert_eq!(sc.data.ports(), sc.pdn.ports());
+        assert_eq!(sc.network.ports(), sc.data.ports());
+        assert_eq!(sc.data.len(), sc.config.frequency_samples + 1); // + DC
+        assert_eq!(sc.data.grid().freqs_hz()[0], 0.0);
+        assert!(sc.pdn.die_ports.contains(&sc.observation_port));
+    }
+
+    #[test]
+    fn reduced_scenario_exhibits_the_paper_phenomenology() {
+        let sc = StandardScenario::reduced().unwrap();
+        // Nominal target impedance: milliohm-level at low frequency (VRM
+        // path), rising toward high frequency.
+        let zt = target_impedance(&sc.data, &sc.network, sc.observation_port).unwrap();
+        let mags = zt.magnitudes();
+        assert!(mags[1] < 0.1, "low-frequency target impedance {}", mags[1]);
+        assert!(mags[mags.len() - 1] > mags[1]);
+        // The sensitivity must fall by orders of magnitude from the low end
+        // of the band to the high end (Fig. 3 of the paper).
+        let xi = analytic_sensitivity(&sc.data, &sc.network, sc.observation_port).unwrap();
+        let low = xi[1];
+        let high = xi[xi.len() - 1];
+        assert!(
+            low > 30.0 * high,
+            "sensitivity contrast too small: low {low}, high {high}"
+        );
+    }
+
+    #[test]
+    fn scenario_with_invalid_board_is_rejected() {
+        let mut cfg = ScenarioConfig::reduced();
+        cfg.board.die_ports = vec![];
+        assert!(StandardScenario::build(cfg).is_err());
+        let mut cfg = ScenarioConfig::reduced();
+        cfg.frequency_samples = 1;
+        assert!(StandardScenario::build(cfg).is_err());
+    }
+}

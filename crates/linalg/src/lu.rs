@@ -1,0 +1,409 @@
+//! LU factorization with partial pivoting for real and complex matrices,
+//! together with linear solves, inverses and determinants.
+//!
+//! The loaded-impedance transformation of the PDN flow (eq. 2 of the paper)
+//! requires repeated inversion of small complex matrices; the Kronecker-based
+//! Lyapunov path and the constrained quadratic program use the real variants.
+
+use crate::{CMat, Complex64, LinalgError, Mat, Result};
+
+/// LU factorization (with partial pivoting) of a square real matrix.
+///
+/// The factorization satisfies `P·A = L·U`, where `P` is the row permutation
+/// encoded by `perm`.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    lu: Mat,
+    perm: Vec<usize>,
+    sign: f64,
+}
+
+impl Lu {
+    /// Factorizes `a`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotSquare`] for non-square input and
+    /// [`LinalgError::Singular`] when a pivot is exactly zero.
+    pub fn new(a: &Mat) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { context: "Lu::new", dims: a.shape() });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        for k in 0..n {
+            // Partial pivoting: pick the largest magnitude entry in column k.
+            let mut p = k;
+            let mut max = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                if lu[(i, k)].abs() > max {
+                    max = lu[(i, k)].abs();
+                    p = i;
+                }
+            }
+            if max == 0.0 {
+                return Err(LinalgError::Singular { context: "Lu::new" });
+            }
+            if p != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(p, j)];
+                    lu[(p, j)] = tmp;
+                }
+                perm.swap(k, p);
+                sign = -sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                for j in (k + 1)..n {
+                    let delta = factor * lu[(k, j)];
+                    lu[(i, j)] -= delta;
+                }
+            }
+        }
+        Ok(Lu { lu, perm, sign })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A·x = b` for a single right-hand side.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when `b.len()` differs from
+    /// the matrix dimension.
+    pub fn solve_vec(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                context: "Lu::solve_vec",
+                left: (n, n),
+                right: (b.len(), 1),
+            });
+        }
+        let mut x: Vec<f64> = (0..n).map(|i| b[self.perm[i]]).collect();
+        // Forward substitution with unit lower-triangular L.
+        for i in 0..n {
+            for j in 0..i {
+                x[i] -= self.lu[(i, j)] * x[j];
+            }
+        }
+        // Back substitution with U.
+        for i in (0..n).rev() {
+            for j in (i + 1)..n {
+                x[i] -= self.lu[(i, j)] * x[j];
+            }
+            x[i] /= self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Solves `A·X = B` for a matrix right-hand side.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when row counts differ.
+    pub fn solve(&self, b: &Mat) -> Result<Mat> {
+        let n = self.dim();
+        if b.rows() != n {
+            return Err(LinalgError::DimensionMismatch {
+                context: "Lu::solve",
+                left: (n, n),
+                right: b.shape(),
+            });
+        }
+        let mut x = Mat::zeros(n, b.cols());
+        for j in 0..b.cols() {
+            let col = self.solve_vec(&b.col(j))?;
+            for i in 0..n {
+                x[(i, j)] = col[i];
+            }
+        }
+        Ok(x)
+    }
+
+    /// Determinant of the original matrix.
+    pub fn det(&self) -> f64 {
+        let mut d = self.sign;
+        for i in 0..self.dim() {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+
+    /// Inverse of the original matrix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solve failures.
+    pub fn inverse(&self) -> Result<Mat> {
+        self.solve(&Mat::identity(self.dim()))
+    }
+}
+
+/// Solves `A·X = B` for real matrices.
+///
+/// # Errors
+///
+/// See [`Lu::new`] and [`Lu::solve`].
+pub fn solve(a: &Mat, b: &Mat) -> Result<Mat> {
+    Lu::new(a)?.solve(b)
+}
+
+/// Computes the inverse of a real matrix.
+///
+/// # Errors
+///
+/// See [`Lu::new`].
+pub fn inverse(a: &Mat) -> Result<Mat> {
+    Lu::new(a)?.inverse()
+}
+
+/// Determinant of a real matrix (via LU).
+///
+/// Returns `0.0` for singular matrices instead of an error.
+pub fn det(a: &Mat) -> Result<f64> {
+    match Lu::new(a) {
+        Ok(lu) => Ok(lu.det()),
+        Err(LinalgError::Singular { .. }) => Ok(0.0),
+        Err(e) => Err(e),
+    }
+}
+
+/// LU factorization (with partial pivoting) of a square complex matrix.
+#[derive(Debug, Clone)]
+pub struct CLu {
+    lu: CMat,
+    perm: Vec<usize>,
+}
+
+impl CLu {
+    /// Factorizes `a`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotSquare`] for non-square input and
+    /// [`LinalgError::Singular`] when a pivot is exactly zero.
+    pub fn new(a: &CMat) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { context: "CLu::new", dims: a.shape() });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        for k in 0..n {
+            let mut p = k;
+            let mut max = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                if lu[(i, k)].abs() > max {
+                    max = lu[(i, k)].abs();
+                    p = i;
+                }
+            }
+            if max == 0.0 {
+                return Err(LinalgError::Singular { context: "CLu::new" });
+            }
+            if p != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(p, j)];
+                    lu[(p, j)] = tmp;
+                }
+                perm.swap(k, p);
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                for j in (k + 1)..n {
+                    let delta = factor * lu[(k, j)];
+                    lu[(i, j)] -= delta;
+                }
+            }
+        }
+        Ok(CLu { lu, perm })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A·x = b` for a single right-hand side.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when `b.len()` differs from
+    /// the matrix dimension.
+    pub fn solve_vec(&self, b: &[Complex64]) -> Result<Vec<Complex64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                context: "CLu::solve_vec",
+                left: (n, n),
+                right: (b.len(), 1),
+            });
+        }
+        let mut x: Vec<Complex64> = (0..n).map(|i| b[self.perm[i]]).collect();
+        for i in 0..n {
+            for j in 0..i {
+                let d = self.lu[(i, j)] * x[j];
+                x[i] -= d;
+            }
+        }
+        for i in (0..n).rev() {
+            for j in (i + 1)..n {
+                let d = self.lu[(i, j)] * x[j];
+                x[i] -= d;
+            }
+            x[i] = x[i] / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Solves `A·X = B` for a matrix right-hand side.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when row counts differ.
+    pub fn solve(&self, b: &CMat) -> Result<CMat> {
+        let n = self.dim();
+        if b.rows() != n {
+            return Err(LinalgError::DimensionMismatch {
+                context: "CLu::solve",
+                left: (n, n),
+                right: b.shape(),
+            });
+        }
+        let mut x = CMat::zeros(n, b.cols());
+        for j in 0..b.cols() {
+            let col = self.solve_vec(&b.col(j))?;
+            for i in 0..n {
+                x[(i, j)] = col[i];
+            }
+        }
+        Ok(x)
+    }
+
+    /// Inverse of the original matrix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solve failures.
+    pub fn inverse(&self) -> Result<CMat> {
+        self.solve(&CMat::identity(self.dim()))
+    }
+}
+
+/// Solves `A·X = B` for complex matrices.
+///
+/// # Errors
+///
+/// See [`CLu::new`] and [`CLu::solve`].
+pub fn csolve(a: &CMat, b: &CMat) -> Result<CMat> {
+    CLu::new(a)?.solve(b)
+}
+
+/// Computes the inverse of a complex matrix.
+///
+/// # Errors
+///
+/// See [`CLu::new`].
+pub fn cinverse(a: &CMat) -> Result<CMat> {
+    CLu::new(a)?.inverse()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_solve_and_inverse() {
+        let a = Mat::from_rows(&[&[4.0, 3.0], &[6.0, 3.0]]);
+        let b = Mat::col_vector(&[10.0, 12.0]);
+        let x = solve(&a, &b).unwrap();
+        assert!((a.matmul(&x).unwrap().max_abs_diff(&b)) < 1e-12);
+        let inv = inverse(&a).unwrap();
+        assert!(a.matmul(&inv).unwrap().max_abs_diff(&Mat::identity(2)) < 1e-12);
+    }
+
+    #[test]
+    fn real_det_and_singularity() {
+        let a = Mat::from_rows(&[&[2.0, 0.0], &[0.0, 3.0]]);
+        assert!((det(&a).unwrap() - 6.0).abs() < 1e-14);
+        // Determinant sign flips with a row swap.
+        let b = Mat::from_rows(&[&[0.0, 3.0], &[2.0, 0.0]]);
+        assert!((det(&b).unwrap() + 6.0).abs() < 1e-14);
+        let s = Mat::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert_eq!(det(&s).unwrap(), 0.0);
+        assert!(matches!(inverse(&s), Err(LinalgError::Singular { .. })));
+        assert!(matches!(Lu::new(&Mat::zeros(2, 3)), Err(LinalgError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn real_solve_random_system_residual() {
+        // A fixed pseudo-random well-conditioned system.
+        let n = 12;
+        let a = Mat::from_fn(n, n, |i, j| {
+            let v = ((i * 31 + j * 17 + 7) % 23) as f64 / 23.0 - 0.5;
+            if i == j {
+                v + 5.0
+            } else {
+                v
+            }
+        });
+        let xs = Mat::from_fn(n, 3, |i, j| (i + j) as f64 * 0.1 - 0.4);
+        let b = a.matmul(&xs).unwrap();
+        let x = solve(&a, &b).unwrap();
+        assert!(x.max_abs_diff(&xs) < 1e-10);
+    }
+
+    #[test]
+    fn complex_solve_and_inverse() {
+        let i = Complex64::I;
+        let a = CMat::from_rows(&[
+            &[Complex64::new(2.0, 1.0), Complex64::new(0.0, -1.0)],
+            &[Complex64::new(1.0, 0.0), Complex64::new(3.0, 2.0)],
+        ]);
+        let b = CMat::col_vector(&[Complex64::ONE, i]);
+        let x = csolve(&a, &b).unwrap();
+        assert!(a.matmul(&x).unwrap().max_abs_diff(&b) < 1e-12);
+        let inv = cinverse(&a).unwrap();
+        assert!(a.matmul(&inv).unwrap().max_abs_diff(&CMat::identity(2)) < 1e-12);
+    }
+
+    #[test]
+    fn complex_errors() {
+        let z = CMat::zeros(2, 2);
+        assert!(matches!(CLu::new(&z), Err(LinalgError::Singular { .. })));
+        assert!(matches!(CLu::new(&CMat::zeros(2, 3)), Err(LinalgError::NotSquare { .. })));
+        let a = CMat::identity(2);
+        let lu = CLu::new(&a).unwrap();
+        assert!(lu.solve_vec(&[Complex64::ONE]).is_err());
+        assert!(lu.solve(&CMat::zeros(3, 1)).is_err());
+    }
+
+    #[test]
+    fn complex_larger_system_residual() {
+        let n = 10;
+        let a = CMat::from_fn(n, n, |i, j| {
+            let re = ((i * 13 + j * 7 + 3) % 17) as f64 / 17.0 - 0.5;
+            let im = ((i * 5 + j * 11 + 1) % 19) as f64 / 19.0 - 0.5;
+            let mut z = Complex64::new(re, im);
+            if i == j {
+                z += Complex64::new(4.0, 0.0);
+            }
+            z
+        });
+        let inv = cinverse(&a).unwrap();
+        let err = a.matmul(&inv).unwrap().max_abs_diff(&CMat::identity(n));
+        assert!(err < 1e-11, "residual {err}");
+    }
+}

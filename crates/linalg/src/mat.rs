@@ -1,0 +1,576 @@
+//! Dense real (`f64`) matrices stored in row-major order.
+
+use crate::{CMat, Complex64, LinalgError, Result};
+use std::fmt;
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
+
+/// A dense, row-major matrix of `f64` values.
+///
+/// The type is intentionally simple: it owns a `Vec<f64>` and exposes the
+/// operations the macromodeling flow needs (block access, products,
+/// transposes, norms). Indexing is via `m[(i, j)]`.
+///
+/// ```
+/// use pim_linalg::Mat;
+///
+/// let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// let b = Mat::identity(2);
+/// let c = a.matmul(&b).unwrap();
+/// assert_eq!(c[(1, 0)], 3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Mat {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Mat { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a `rows × cols` matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Mat { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Mat::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a closure evaluated at every `(row, col)` index.
+    pub fn from_fn<F: FnMut(usize, usize) -> f64>(rows: usize, cols: usize, mut f: F) -> Self {
+        let mut m = Mat::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have inconsistent lengths or `rows` is empty.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        assert!(!rows.is_empty(), "from_rows requires at least one row");
+        let cols = rows[0].len();
+        let mut m = Mat::zeros(rows.len(), cols);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.len(), cols, "inconsistent row length in from_rows");
+            for (j, &v) in r.iter().enumerate() {
+                m[(i, j)] = v;
+            }
+        }
+        m
+    }
+
+    /// Creates a square diagonal matrix from the given diagonal entries.
+    pub fn from_diag(diag: &[f64]) -> Self {
+        let mut m = Mat::zeros(diag.len(), diag.len());
+        for (i, &d) in diag.iter().enumerate() {
+            m[(i, i)] = d;
+        }
+        m
+    }
+
+    /// Creates a column vector (`n × 1`) from a slice.
+    pub fn col_vector(v: &[f64]) -> Self {
+        Mat { rows: v.len(), cols: 1, data: v.to_vec() }
+    }
+
+    /// Creates a row vector (`1 × n`) from a slice.
+    pub fn row_vector(v: &[f64]) -> Self {
+        Mat { rows: 1, cols: v.len(), data: v.to_vec() }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// `true` if the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Read-only access to the underlying row-major storage.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying row-major storage.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Returns row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows, "row index out of bounds");
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Returns column `j` as an owned `Vec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= cols`.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        assert!(j < self.cols, "column index out of bounds");
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Mat {
+        let mut t = Mat::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when the inner dimensions
+    /// disagree.
+    pub fn matmul(&self, rhs: &Mat) -> Result<Mat> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::DimensionMismatch {
+                context: "Mat::matmul",
+                left: self.shape(),
+                right: rhs.shape(),
+            });
+        }
+        let mut out = Mat::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self[(i, k)];
+                if aik == 0.0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] += aik * rhs[(k, j)];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix–vector product `self · v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when `v.len() != cols`.
+    pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
+        if v.len() != self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                context: "Mat::matvec",
+                left: self.shape(),
+                right: (v.len(), 1),
+            });
+        }
+        let mut out = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let mut acc = 0.0;
+            for j in 0..self.cols {
+                acc += self[(i, j)] * v[j];
+            }
+            out[i] = acc;
+        }
+        Ok(out)
+    }
+
+    /// Scales every entry by `k`, returning a new matrix.
+    pub fn scaled(&self, k: f64) -> Mat {
+        let mut out = self.clone();
+        for v in &mut out.data {
+            *v *= k;
+        }
+        out
+    }
+
+    /// Sum of diagonal entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn trace(&self) -> f64 {
+        assert!(self.is_square(), "trace requires a square matrix");
+        (0..self.rows).map(|i| self[(i, i)]).sum()
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute entry.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, v| m.max(v.abs()))
+    }
+
+    /// Extracts the block with top-left corner `(row, col)` and size `(nrows, ncols)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the requested block exceeds the matrix bounds.
+    pub fn block(&self, row: usize, col: usize, nrows: usize, ncols: usize) -> Mat {
+        assert!(row + nrows <= self.rows && col + ncols <= self.cols, "block out of bounds");
+        Mat::from_fn(nrows, ncols, |i, j| self[(row + i, col + j)])
+    }
+
+    /// Writes `block` into this matrix with top-left corner `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block exceeds the matrix bounds.
+    pub fn set_block(&mut self, row: usize, col: usize, block: &Mat) {
+        assert!(
+            row + block.rows <= self.rows && col + block.cols <= self.cols,
+            "set_block out of bounds"
+        );
+        for i in 0..block.rows {
+            for j in 0..block.cols {
+                self[(row + i, col + j)] = block[(i, j)];
+            }
+        }
+    }
+
+    /// Builds a block-diagonal matrix from the given blocks.
+    pub fn block_diag(blocks: &[&Mat]) -> Mat {
+        let rows: usize = blocks.iter().map(|b| b.rows).sum();
+        let cols: usize = blocks.iter().map(|b| b.cols).sum();
+        let mut out = Mat::zeros(rows, cols);
+        let (mut r, mut c) = (0, 0);
+        for b in blocks {
+            out.set_block(r, c, b);
+            r += b.rows;
+            c += b.cols;
+        }
+        out
+    }
+
+    /// Horizontal concatenation `[self | rhs]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when the row counts differ.
+    pub fn hstack(&self, rhs: &Mat) -> Result<Mat> {
+        if self.rows != rhs.rows {
+            return Err(LinalgError::DimensionMismatch {
+                context: "Mat::hstack",
+                left: self.shape(),
+                right: rhs.shape(),
+            });
+        }
+        let mut out = Mat::zeros(self.rows, self.cols + rhs.cols);
+        out.set_block(0, 0, self);
+        out.set_block(0, self.cols, rhs);
+        Ok(out)
+    }
+
+    /// Vertical concatenation `[self; rhs]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when the column counts differ.
+    pub fn vstack(&self, rhs: &Mat) -> Result<Mat> {
+        if self.cols != rhs.cols {
+            return Err(LinalgError::DimensionMismatch {
+                context: "Mat::vstack",
+                left: self.shape(),
+                right: rhs.shape(),
+            });
+        }
+        let mut out = Mat::zeros(self.rows + rhs.rows, self.cols);
+        out.set_block(0, 0, self);
+        out.set_block(self.rows, 0, rhs);
+        Ok(out)
+    }
+
+    /// Kronecker product `self ⊗ rhs`.
+    pub fn kron(&self, rhs: &Mat) -> Mat {
+        let mut out = Mat::zeros(self.rows * rhs.rows, self.cols * rhs.cols);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let a = self[(i, j)];
+                if a == 0.0 {
+                    continue;
+                }
+                for p in 0..rhs.rows {
+                    for q in 0..rhs.cols {
+                        out[(i * rhs.rows + p, j * rhs.cols + q)] = a * rhs[(p, q)];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Converts into a complex matrix with zero imaginary part.
+    pub fn to_complex(&self) -> CMat {
+        CMat::from_fn(self.rows, self.cols, |i, j| Complex64::from_real(self[(i, j)]))
+    }
+
+    /// Column-stacking vectorization `vec(A)` (Fortran order), as used in the
+    /// Kronecker identity `vec(AXB) = (Bᵀ ⊗ A) vec(X)`.
+    pub fn vec(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.rows * self.cols);
+        for j in 0..self.cols {
+            for i in 0..self.rows {
+                out.push(self[(i, j)]);
+            }
+        }
+        out
+    }
+
+    /// Inverse of [`Mat::vec`]: rebuilds a `rows × cols` matrix from a
+    /// column-stacked vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != rows * cols`.
+    pub fn from_vec_col_major(v: &[f64], rows: usize, cols: usize) -> Mat {
+        assert_eq!(v.len(), rows * cols, "from_vec_col_major length mismatch");
+        Mat::from_fn(rows, cols, |i, j| v[j * rows + i])
+    }
+
+    /// Maximum absolute difference with another matrix of identical shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn max_abs_diff(&self, other: &Mat) -> f64 {
+        assert_eq!(self.shape(), other.shape(), "max_abs_diff shape mismatch");
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .fold(0.0_f64, |m, (a, b)| m.max((a - b).abs()))
+    }
+
+    /// Returns `true` if the matrix is symmetric to within `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                if (self[(i, j)] - self[(j, i)]).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl Index<(usize, usize)> for Mat {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols, "index out of bounds");
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Mat {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols, "index out of bounds");
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl Add for &Mat {
+    type Output = Mat;
+    fn add(self, rhs: &Mat) -> Mat {
+        assert_eq!(self.shape(), rhs.shape(), "Mat add shape mismatch");
+        let mut out = self.clone();
+        for (o, r) in out.data.iter_mut().zip(rhs.data.iter()) {
+            *o += r;
+        }
+        out
+    }
+}
+
+impl Sub for &Mat {
+    type Output = Mat;
+    fn sub(self, rhs: &Mat) -> Mat {
+        assert_eq!(self.shape(), rhs.shape(), "Mat sub shape mismatch");
+        let mut out = self.clone();
+        for (o, r) in out.data.iter_mut().zip(rhs.data.iter()) {
+            *o -= r;
+        }
+        out
+    }
+}
+
+impl Neg for &Mat {
+    type Output = Mat;
+    fn neg(self) -> Mat {
+        self.scaled(-1.0)
+    }
+}
+
+impl AddAssign<&Mat> for Mat {
+    fn add_assign(&mut self, rhs: &Mat) {
+        assert_eq!(self.shape(), rhs.shape(), "Mat add_assign shape mismatch");
+        for (o, r) in self.data.iter_mut().zip(rhs.data.iter()) {
+            *o += r;
+        }
+    }
+}
+
+impl SubAssign<&Mat> for Mat {
+    fn sub_assign(&mut self, rhs: &Mat) {
+        assert_eq!(self.shape(), rhs.shape(), "Mat sub_assign shape mismatch");
+        for (o, r) in self.data.iter_mut().zip(rhs.data.iter()) {
+            *o -= r;
+        }
+    }
+}
+
+impl Mul<f64> for &Mat {
+    type Output = Mat;
+    fn mul(self, k: f64) -> Mat {
+        self.scaled(k)
+    }
+}
+
+impl fmt::Display for Mat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Mat {}x{}", self.rows, self.cols)?;
+        for i in 0..self.rows.min(10) {
+            let row: Vec<String> =
+                (0..self.cols.min(10)).map(|j| format!("{:>12.5e}", self[(i, j)])).collect();
+            writeln!(f, "  [{}]", row.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_indexing() {
+        let a = Mat::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.shape(), (2, 3));
+        assert_eq!(a[(1, 2)], 6.0);
+        assert_eq!(a.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(a.col(1), vec![2.0, 5.0]);
+        let d = Mat::from_diag(&[1.0, 2.0]);
+        assert_eq!(d[(1, 1)], 2.0);
+        assert_eq!(d[(0, 1)], 0.0);
+        assert_eq!(Mat::identity(3).trace(), 3.0);
+    }
+
+    #[test]
+    fn matmul_and_matvec() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Mat::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c, Mat::from_rows(&[&[2.0, 1.0], &[4.0, 3.0]]));
+        let v = a.matvec(&[1.0, 1.0]).unwrap();
+        assert_eq!(v, vec![3.0, 7.0]);
+        assert!(a.matmul(&Mat::zeros(3, 3)).is_err());
+        assert!(a.matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn transpose_blocks_stacking() {
+        let a = Mat::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let t = a.transpose();
+        assert_eq!(t.shape(), (3, 2));
+        assert_eq!(t[(2, 1)], 6.0);
+        let b = a.block(0, 1, 2, 2);
+        assert_eq!(b, Mat::from_rows(&[&[2.0, 3.0], &[5.0, 6.0]]));
+        let h = a.hstack(&a).unwrap();
+        assert_eq!(h.shape(), (2, 6));
+        let v = a.vstack(&a).unwrap();
+        assert_eq!(v.shape(), (4, 3));
+        let bd = Mat::block_diag(&[&Mat::identity(2), &Mat::filled(1, 1, 5.0)]);
+        assert_eq!(bd.shape(), (3, 3));
+        assert_eq!(bd[(2, 2)], 5.0);
+        assert_eq!(bd[(0, 2)], 0.0);
+    }
+
+    #[test]
+    fn kron_and_vec_identity() {
+        // vec(A X B) = (B^T kron A) vec(X)
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[0.0, -1.0]]);
+        let x = Mat::from_rows(&[&[3.0, 1.0], &[2.0, 4.0]]);
+        let b = Mat::from_rows(&[&[0.5, 1.0], &[-2.0, 0.0]]);
+        let axb = a.matmul(&x).unwrap().matmul(&b).unwrap();
+        let k = b.transpose().kron(&a);
+        let v = k.matvec(&x.vec()).unwrap();
+        let rebuilt = Mat::from_vec_col_major(&v, 2, 2);
+        assert!(axb.max_abs_diff(&rebuilt) < 1e-12);
+    }
+
+    #[test]
+    fn norms_and_symmetry() {
+        let a = Mat::from_rows(&[&[3.0, 0.0], &[0.0, 4.0]]);
+        assert!((a.frobenius_norm() - 5.0).abs() < 1e-15);
+        assert_eq!(a.max_abs(), 4.0);
+        assert!(a.is_symmetric(0.0));
+        let b = Mat::from_rows(&[&[0.0, 1.0], &[2.0, 0.0]]);
+        assert!(!b.is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Mat::identity(2);
+        let b = Mat::filled(2, 2, 2.0);
+        let c = &a + &b;
+        assert_eq!(c[(0, 0)], 3.0);
+        let d = &c - &b;
+        assert!(d.max_abs_diff(&a) < 1e-15);
+        let e = &a * 3.0;
+        assert_eq!(e[(1, 1)], 3.0);
+        let mut f = a.clone();
+        f += &b;
+        f -= &b;
+        assert!(f.max_abs_diff(&a) < 1e-15);
+        assert_eq!((-&a)[(0, 0)], -1.0);
+    }
+
+    #[test]
+    fn display_does_not_panic() {
+        let a = Mat::identity(3);
+        let s = format!("{a}");
+        assert!(s.contains("Mat 3x3"));
+    }
+}

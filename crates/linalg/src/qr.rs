@@ -1,0 +1,377 @@
+//! Householder QR factorization and linear least squares.
+//!
+//! Vector Fitting assembles (possibly large and moderately ill-conditioned)
+//! overdetermined real linear systems; they are solved here through a
+//! Householder QR factorization without explicit formation of `Q`, which is
+//! both faster and more accurate than normal equations.
+
+use crate::{LinalgError, Mat, Result};
+
+/// Householder QR factorization of an `m × n` real matrix with `m ≥ n`.
+///
+/// The factor `R` (upper triangular `n × n`) and the Householder reflectors
+/// are stored compactly; [`QrFactor::solve_least_squares`] applies the
+/// reflectors to a right-hand side and back-substitutes.
+#[derive(Debug, Clone)]
+pub struct QrFactor {
+    /// Packed factorization: R in the upper triangle, reflector vectors below.
+    qr: Mat,
+    /// Scalar coefficients of the Householder reflectors.
+    tau: Vec<f64>,
+    rows: usize,
+    cols: usize,
+}
+
+impl QrFactor {
+    /// Factorizes `a` (which must have at least as many rows as columns).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidArgument`] when `m < n` or the matrix is
+    /// empty.
+    pub fn new(a: &Mat) -> Result<Self> {
+        let (m, n) = a.shape();
+        if m == 0 || n == 0 {
+            return Err(LinalgError::InvalidArgument { context: "QrFactor::new: empty matrix" });
+        }
+        if m < n {
+            return Err(LinalgError::InvalidArgument {
+                context: "QrFactor::new: system must have at least as many rows as columns",
+            });
+        }
+        let mut qr = a.clone();
+        let mut tau = vec![0.0; n];
+        for k in 0..n {
+            // Householder vector for column k, rows k..m.
+            let mut norm = 0.0_f64;
+            for i in k..m {
+                norm = norm.hypot(qr[(i, k)]);
+            }
+            if norm == 0.0 {
+                tau[k] = 0.0;
+                continue;
+            }
+            let alpha = if qr[(k, k)] >= 0.0 { -norm } else { norm };
+            // v = x - alpha * e1, stored normalized so v[k] = 1.
+            let v0 = qr[(k, k)] - alpha;
+            for i in (k + 1)..m {
+                qr[(i, k)] /= v0;
+            }
+            tau[k] = -v0 / alpha;
+            qr[(k, k)] = alpha;
+            // Apply reflector to remaining columns: A <- (I - tau v v^T) A.
+            for j in (k + 1)..n {
+                let mut dot = qr[(k, j)];
+                for i in (k + 1)..m {
+                    dot += qr[(i, k)] * qr[(i, j)];
+                }
+                dot *= tau[k];
+                qr[(k, j)] -= dot;
+                for i in (k + 1)..m {
+                    let d = dot * qr[(i, k)];
+                    qr[(i, j)] -= d;
+                }
+            }
+        }
+        Ok(QrFactor { qr, tau, rows: m, cols: n })
+    }
+
+    /// Returns the upper-triangular factor `R` (`n × n`).
+    pub fn r(&self) -> Mat {
+        Mat::from_fn(self.cols, self.cols, |i, j| if j >= i { self.qr[(i, j)] } else { 0.0 })
+    }
+
+    /// Applies `Qᵀ` to a vector of length `m`.
+    fn apply_qt(&self, b: &[f64]) -> Vec<f64> {
+        let mut y = b.to_vec();
+        for k in 0..self.cols {
+            if self.tau[k] == 0.0 {
+                continue;
+            }
+            let mut dot = y[k];
+            for i in (k + 1)..self.rows {
+                dot += self.qr[(i, k)] * y[i];
+            }
+            dot *= self.tau[k];
+            y[k] -= dot;
+            for i in (k + 1)..self.rows {
+                y[i] -= dot * self.qr[(i, k)];
+            }
+        }
+        y
+    }
+
+    /// Solves the least squares problem `min ‖A·x − b‖₂`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != m` and
+    /// [`LinalgError::Singular`] if `R` has a (numerically) zero diagonal
+    /// entry, indicating rank deficiency.
+    pub fn solve_least_squares(&self, b: &[f64]) -> Result<Vec<f64>> {
+        if b.len() != self.rows {
+            return Err(LinalgError::DimensionMismatch {
+                context: "QrFactor::solve_least_squares",
+                left: (self.rows, self.cols),
+                right: (b.len(), 1),
+            });
+        }
+        let y = self.apply_qt(b);
+        let mut x = vec![0.0; self.cols];
+        let tol = f64::EPSILON * self.rows as f64 * self.qr.max_abs();
+        for i in (0..self.cols).rev() {
+            let mut acc = y[i];
+            for j in (i + 1)..self.cols {
+                acc -= self.qr[(i, j)] * x[j];
+            }
+            let d = self.qr[(i, i)];
+            if d.abs() <= tol {
+                return Err(LinalgError::Singular { context: "QrFactor::solve_least_squares" });
+            }
+            x[i] = acc / d;
+        }
+        Ok(x)
+    }
+
+    /// Residual norm `‖A·x − b‖₂` of a candidate solution (helper mostly for
+    /// tests and diagnostics).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] on inconsistent lengths.
+    pub fn residual_norm(a: &Mat, x: &[f64], b: &[f64]) -> Result<f64> {
+        let ax = a.matvec(x)?;
+        if ax.len() != b.len() {
+            return Err(LinalgError::DimensionMismatch {
+                context: "QrFactor::residual_norm",
+                left: (ax.len(), 1),
+                right: (b.len(), 1),
+            });
+        }
+        Ok(ax.iter().zip(b).map(|(p, q)| (p - q) * (p - q)).sum::<f64>().sqrt())
+    }
+}
+
+/// One-shot least squares solve `min ‖A·x − b‖₂` via Householder QR.
+///
+/// # Errors
+///
+/// See [`QrFactor::new`] and [`QrFactor::solve_least_squares`].
+pub fn lstsq(a: &Mat, b: &[f64]) -> Result<Vec<f64>> {
+    QrFactor::new(a)?.solve_least_squares(b)
+}
+
+/// Least squares with column equilibration and (optional) Tikhonov
+/// regularization: solves `min ‖A·x − b‖² + λ²‖Dx‖²` where `D` rescales every
+/// column of `A` to unit norm and `λ = lambda_rel · ‖A‖`.
+///
+/// Column scaling makes the solve robust to the extreme dynamic ranges of
+/// frequency-domain regression matrices (kHz–GHz bases), and the
+/// regularization returns a small-norm solution when the problem is rank
+/// deficient (e.g. an over-parameterized Vector Fitting scaling function)
+/// instead of failing.
+///
+/// # Errors
+///
+/// See [`QrFactor::new`]; with `lambda_rel > 0` the solve itself cannot be
+/// rank deficient.
+pub fn lstsq_scaled(a: &Mat, b: &[f64], lambda_rel: f64) -> Result<Vec<f64>> {
+    let (m, n) = a.shape();
+    if m == 0 || n == 0 {
+        return Err(LinalgError::InvalidArgument { context: "lstsq_scaled: empty matrix" });
+    }
+    if b.len() != m {
+        return Err(LinalgError::DimensionMismatch {
+            context: "lstsq_scaled",
+            left: (m, n),
+            right: (b.len(), 1),
+        });
+    }
+    // Column norms (unit fallback for identically zero columns).
+    let mut norms = vec![0.0_f64; n];
+    for i in 0..m {
+        for j in 0..n {
+            norms[j] = norms[j].hypot(a[(i, j)]);
+        }
+    }
+    for nj in &mut norms {
+        if *nj == 0.0 {
+            *nj = 1.0;
+        }
+    }
+    let extra = if lambda_rel > 0.0 { n } else { 0 };
+    let lambda = lambda_rel;
+    let mut scaled = Mat::zeros(m + extra, n);
+    for i in 0..m {
+        for j in 0..n {
+            scaled[(i, j)] = a[(i, j)] / norms[j];
+        }
+    }
+    let mut rhs = vec![0.0; m + extra];
+    rhs[..m].copy_from_slice(b);
+    if extra > 0 {
+        for j in 0..n {
+            scaled[(m + j, j)] = lambda;
+        }
+    }
+    let y = QrFactor::new(&scaled)?.solve_least_squares(&rhs)?;
+    Ok(y.iter().zip(&norms).map(|(v, nj)| v / nj).collect())
+}
+
+/// Solves a least squares problem with multiple right-hand sides, returning
+/// the `n × k` solution matrix.
+///
+/// # Errors
+///
+/// See [`QrFactor::new`] and [`QrFactor::solve_least_squares`].
+pub fn lstsq_multi(a: &Mat, b: &Mat) -> Result<Mat> {
+    if b.rows() != a.rows() {
+        return Err(LinalgError::DimensionMismatch {
+            context: "lstsq_multi",
+            left: a.shape(),
+            right: b.shape(),
+        });
+    }
+    let f = QrFactor::new(a)?;
+    let mut x = Mat::zeros(a.cols(), b.cols());
+    for j in 0..b.cols() {
+        let col = f.solve_least_squares(&b.col(j))?;
+        for i in 0..a.cols() {
+            x[(i, j)] = col[i];
+        }
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_system_exact_solution() {
+        let a = Mat::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let x_true = vec![1.0, -2.0];
+        let b = a.matvec(&x_true).unwrap();
+        let x = lstsq(&a, &b).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overdetermined_consistent_system() {
+        // Fit y = 2 + 3 t exactly through points that lie on the line.
+        let ts = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let a = Mat::from_fn(ts.len(), 2, |i, j| if j == 0 { 1.0 } else { ts[i] });
+        let b: Vec<f64> = ts.iter().map(|t| 2.0 + 3.0 * t).collect();
+        let x = lstsq(&a, &b).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12 && (x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overdetermined_inconsistent_minimizes_residual() {
+        // Classic regression: the QR solution must match the normal equations.
+        let a = Mat::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0], &[1.0, 3.0]]);
+        let b = vec![0.1, 0.9, 2.2, 2.9];
+        let x = lstsq(&a, &b).unwrap();
+        // Normal equations solution computed analytically.
+        let ata = a.transpose().matmul(&a).unwrap();
+        let atb = a.transpose().matvec(&b).unwrap();
+        let x_ne = crate::lu::solve(&ata, &Mat::col_vector(&atb)).unwrap();
+        assert!((x[0] - x_ne[(0, 0)]).abs() < 1e-10);
+        assert!((x[1] - x_ne[(1, 0)]).abs() < 1e-10);
+        // Perturbing the solution must not reduce the residual.
+        let r0 = QrFactor::residual_norm(&a, &x, &b).unwrap();
+        let xp = vec![x[0] + 1e-3, x[1]];
+        assert!(QrFactor::residual_norm(&a, &xp, &b).unwrap() >= r0);
+    }
+
+    #[test]
+    fn r_factor_is_upper_triangular_and_consistent() {
+        let a = Mat::from_fn(6, 3, |i, j| ((i * 7 + j * 3 + 1) % 11) as f64 - 5.0);
+        let f = QrFactor::new(&a).unwrap();
+        let r = f.r();
+        for i in 0..3 {
+            for j in 0..i {
+                assert_eq!(r[(i, j)], 0.0);
+            }
+        }
+        // |det(R)| = sqrt(det(A^T A))
+        let ata = a.transpose().matmul(&a).unwrap();
+        let det_ata = crate::lu::det(&ata).unwrap();
+        let det_r: f64 = (0..3).map(|i| r[(i, i)]).product();
+        assert!((det_r.abs() - det_ata.sqrt()).abs() < 1e-8 * det_ata.sqrt().max(1.0));
+    }
+
+    #[test]
+    fn rank_deficient_is_detected() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]);
+        let r = lstsq(&a, &[1.0, 2.0, 3.0]);
+        assert!(matches!(r, Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn argument_validation() {
+        assert!(QrFactor::new(&Mat::zeros(2, 3)).is_err());
+        let f = QrFactor::new(&Mat::identity(3)).unwrap();
+        assert!(f.solve_least_squares(&[1.0]).is_err());
+        assert!(lstsq_multi(&Mat::identity(3), &Mat::zeros(2, 2)).is_err());
+    }
+
+    #[test]
+    fn multi_rhs_matches_single_rhs() {
+        let a = Mat::from_fn(5, 2, |i, j| (i + 1) as f64 * (j + 1) as f64 + (i as f64).sin());
+        let b = Mat::from_fn(5, 2, |i, j| (i as f64 - j as f64).cos());
+        let x = lstsq_multi(&a, &b).unwrap();
+        for j in 0..2 {
+            let xj = lstsq(&a, &b.col(j)).unwrap();
+            for i in 0..2 {
+                assert!((x[(i, j)] - xj[i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn moderately_large_wellconditioned_problem() {
+        let m = 120;
+        let n = 20;
+        let a = Mat::from_fn(m, n, |i, j| ((i as f64 + 1.0) * 0.05).powi(j as i32 % 4) + if i % n == j { 2.0 } else { 0.0 });
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
+        let b = a.matvec(&x_true).unwrap();
+        let x = lstsq(&a, &b).unwrap();
+        let err: f64 = x.iter().zip(&x_true).map(|(p, q)| (p - q).abs()).fold(0.0, f64::max);
+        assert!(err < 1e-8, "max error {err}");
+    }
+}
+#[cfg(test)]
+mod scaled_tests {
+    use super::*;
+
+    #[test]
+    fn scaled_solve_matches_plain_solve_when_well_posed() {
+        let a = Mat::from_rows(&[&[1.0, 1e8], &[1.0, 2e8], &[1.0, 3e8], &[1.0, 4e8]]);
+        let x_true = [2.0, 3e-8];
+        let b = a.matvec(&x_true).unwrap();
+        let x = lstsq_scaled(&a, &b, 0.0).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-9 && (x[1] - 3e-8).abs() < 1e-16);
+    }
+
+    #[test]
+    fn regularized_solve_handles_rank_deficiency() {
+        // Two identical columns: plain QR solve fails, regularized succeeds
+        // and splits the coefficient between the columns.
+        let a = Mat::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]);
+        let b = vec![2.0, 4.0, 6.0];
+        assert!(lstsq(&a, &b).is_err());
+        let x = lstsq_scaled(&a, &b, 1e-8).unwrap();
+        assert!((x[0] + x[1] - 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn scaled_solve_argument_validation() {
+        assert!(lstsq_scaled(&Mat::zeros(0, 0), &[], 0.0).is_err());
+        assert!(lstsq_scaled(&Mat::identity(2), &[1.0], 0.0).is_err());
+        // Zero column with regularization gives a zero coefficient.
+        let a = Mat::from_rows(&[&[1.0, 0.0], &[2.0, 0.0], &[1.0, 0.0]]);
+        let x = lstsq_scaled(&a, &[1.0, 2.0, 1.0], 1e-10).unwrap();
+        assert!(x[1].abs() < 1e-8);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests for the dense linear algebra kernels.
+
+use pim_linalg::eig::{eigenvalues, symmetric_eig};
+use pim_linalg::lu::{inverse, solve};
+use pim_linalg::lyapunov::controllability_gramian;
+use pim_linalg::qr::lstsq;
+use pim_linalg::schur::complex_schur;
+use pim_linalg::svd::svd;
+use pim_linalg::{CMat, Complex64, Mat};
+use proptest::prelude::*;
+
+/// Strategy: a well-conditioned (diagonally dominant) real square matrix.
+fn dominant_matrix(n: usize) -> impl Strategy<Value = Mat> {
+    prop::collection::vec(-1.0f64..1.0, n * n).prop_map(move |v| {
+        Mat::from_fn(n, n, |i, j| {
+            let x = v[i * n + j];
+            if i == j {
+                x + n as f64 + 1.0
+            } else {
+                x
+            }
+        })
+    })
+}
+
+/// Strategy: a Hurwitz (stable) real matrix built as `M - (ρ(M)+margin)·I`.
+fn stable_matrix(n: usize) -> impl Strategy<Value = Mat> {
+    prop::collection::vec(-1.0f64..1.0, n * n).prop_map(move |v| {
+        let m = Mat::from_fn(n, n, |i, j| v[i * n + j]);
+        let shift = n as f64 + 1.0;
+        Mat::from_fn(n, n, |i, j| m[(i, j)] - if i == j { shift } else { 0.0 })
+    })
+}
+
+fn complex_matrix(m: usize, n: usize) -> impl Strategy<Value = CMat> {
+    prop::collection::vec(-1.0f64..1.0, 2 * m * n).prop_map(move |v| {
+        CMat::from_fn(m, n, |i, j| Complex64::new(v[2 * (i * n + j)], v[2 * (i * n + j) + 1]))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn lu_solve_reconstructs_rhs(a in dominant_matrix(5), x in prop::collection::vec(-2.0f64..2.0, 5)) {
+        let b = a.matvec(&x).unwrap();
+        let sol = solve(&a, &Mat::col_vector(&b)).unwrap();
+        for i in 0..5 {
+            prop_assert!((sol[(i, 0)] - x[i]).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity(a in dominant_matrix(4)) {
+        let inv = inverse(&a).unwrap();
+        let err = a.matmul(&inv).unwrap().max_abs_diff(&Mat::identity(4));
+        prop_assert!(err < 1e-9);
+    }
+
+    #[test]
+    fn lstsq_residual_is_orthogonal_to_columns(
+        v in prop::collection::vec(-1.0f64..1.0, 8 * 3),
+        b in prop::collection::vec(-1.0f64..1.0, 8),
+    ) {
+        let a = Mat::from_fn(8, 3, |i, j| v[i * 3 + j] + if i % 3 == j { 2.0 } else { 0.0 });
+        let x = lstsq(&a, &b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        let r: Vec<f64> = ax.iter().zip(&b).map(|(p, q)| p - q).collect();
+        // Normal equations: A^T r = 0 at the least squares optimum.
+        let atr = a.transpose().matvec(&r).unwrap();
+        for v in atr {
+            prop_assert!(v.abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn eigenvalue_sum_matches_trace(a in dominant_matrix(6)) {
+        let ev = eigenvalues(&a).unwrap();
+        let sum_re: f64 = ev.iter().map(|e| e.re).sum();
+        let sum_im: f64 = ev.iter().map(|e| e.im).sum();
+        prop_assert!((sum_re - a.trace()).abs() < 1e-7 * a.trace().abs().max(1.0));
+        prop_assert!(sum_im.abs() < 1e-7);
+    }
+
+    #[test]
+    fn schur_reconstructs_input(a in complex_matrix(5, 5)) {
+        let s = complex_schur(&a).unwrap();
+        let back = s.u.matmul(&s.t).unwrap().matmul(&s.u.hermitian()).unwrap();
+        prop_assert!(back.max_abs_diff(&a) < 1e-8);
+    }
+
+    #[test]
+    fn svd_reconstruction_and_operator_norm_bound(a in complex_matrix(4, 6)) {
+        let d = svd(&a).unwrap();
+        prop_assert!(d.reconstruct().unwrap().max_abs_diff(&a) < 1e-9);
+        // The operator 2-norm bounds the scaled Frobenius norm from below.
+        let fro = a.frobenius_norm();
+        prop_assert!(d.sigma_max() <= fro + 1e-12);
+        prop_assert!(d.sigma_max() * 2.0 >= fro / (4.0f64.min(6.0)).sqrt() - 1e-12);
+    }
+
+    #[test]
+    fn symmetric_eig_reconstructs(a in dominant_matrix(5)) {
+        let sym = Mat::from_fn(5, 5, |i, j| 0.5 * (a[(i, j)] + a[(j, i)]));
+        let e = symmetric_eig(&sym).unwrap();
+        let d = Mat::from_diag(&e.values);
+        let back = e.vectors.matmul(&d).unwrap().matmul(&e.vectors.transpose()).unwrap();
+        prop_assert!(back.max_abs_diff(&sym) < 1e-9);
+    }
+
+    #[test]
+    fn gramian_is_positive_semidefinite(a in stable_matrix(4), bv in prop::collection::vec(-1.0f64..1.0, 4)) {
+        let b = Mat::col_vector(&bv);
+        let p = controllability_gramian(&a, &b).unwrap();
+        let e = symmetric_eig(&p).unwrap();
+        prop_assert!(e.values[0] > -1e-9);
+        // Residual of the Lyapunov equation.
+        let resid = &(&a.matmul(&p).unwrap() + &p.matmul(&a.transpose()).unwrap())
+            + &b.matmul(&b.transpose()).unwrap();
+        prop_assert!(resid.max_abs() < 1e-8);
+    }
+}

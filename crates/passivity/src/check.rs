@@ -1,0 +1,369 @@
+//! Passivity assessment: Hamiltonian eigenvalue test and singular-value
+//! sweeps.
+
+use crate::{PassivityError, Result};
+use pim_linalg::eig::eigenvalues;
+use pim_linalg::lu::inverse;
+use pim_linalg::svd::{singular_values, svd};
+use pim_linalg::Mat;
+use pim_statespace::{PoleResidueModel, StateSpace};
+
+/// A frequency band over which at least one singular value of the scattering
+/// matrix exceeds one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ViolationBand {
+    /// Lower edge of the band (rad/s).
+    pub omega_low: f64,
+    /// Upper edge of the band (rad/s).
+    pub omega_high: f64,
+    /// Frequency of the worst violation inside the band (rad/s).
+    pub omega_peak: f64,
+    /// Largest singular value inside the band.
+    pub sigma_peak: f64,
+}
+
+/// Summary of a passivity assessment.
+#[derive(Debug, Clone)]
+pub struct PassivityReport {
+    /// `true` when no violation was found by either test.
+    pub passive: bool,
+    /// Worst singular value found over the sweep.
+    pub sigma_max: f64,
+    /// Frequency (rad/s) at which the worst singular value occurs.
+    pub omega_at_sigma_max: f64,
+    /// Violation bands identified by the sweep.
+    pub bands: Vec<ViolationBand>,
+    /// Frequencies (rad/s) of unit-singular-value crossings reported by the
+    /// Hamiltonian eigenvalue test.
+    pub hamiltonian_crossings: Vec<f64>,
+}
+
+/// Builds the Hamiltonian matrix associated with the scattering state-space
+/// model (reference [14] of the paper). Its purely imaginary eigenvalues are
+/// the frequencies at which a singular value of `S(jω)` crosses one.
+///
+/// # Errors
+///
+/// Returns [`PassivityError::InvalidInput`] when `DᵀD − I` is singular (a
+/// singular value of the feedthrough matrix equals one, a degenerate
+/// boundary case).
+pub fn hamiltonian_matrix(sys: &StateSpace) -> Result<Mat> {
+    let p = sys.outputs();
+    if sys.inputs() != p {
+        return Err(PassivityError::InvalidInput(
+            "the Hamiltonian passivity test requires a square (P x P) transfer matrix".into(),
+        ));
+    }
+    let n = sys.order();
+    let a = sys.a();
+    let b = sys.b();
+    let c = sys.c();
+    let d = sys.d();
+    let dtd = d.transpose().matmul(d)?;
+    let ddt = d.matmul(&d.transpose())?;
+    let r = &dtd - &Mat::identity(p);
+    let s = &ddt - &Mat::identity(p);
+    let r_inv = inverse(&r).map_err(|_| {
+        PassivityError::InvalidInput(
+            "DᵀD − I is singular: a feedthrough singular value equals one".into(),
+        )
+    })?;
+    let s_inv = inverse(&s).map_err(|_| {
+        PassivityError::InvalidInput(
+            "DDᵀ − I is singular: a feedthrough singular value equals one".into(),
+        )
+    })?;
+
+    let br = b.matmul(&r_inv)?; // B (DᵀD − I)⁻¹
+    let a11 = a - &br.matmul(&d.transpose())?.matmul(c)?;
+    let a12 = br.matmul(&b.transpose())?.scaled(-1.0);
+    let a21 = c.transpose().matmul(&s_inv)?.matmul(c)?;
+    let a22 = &a.transpose().scaled(-1.0)
+        + &c.transpose().matmul(d)?.matmul(&r_inv)?.matmul(&b.transpose())?;
+
+    let mut m = Mat::zeros(2 * n, 2 * n);
+    m.set_block(0, 0, &a11);
+    m.set_block(0, n, &a12);
+    m.set_block(n, 0, &a21);
+    m.set_block(n, n, &a22);
+    Ok(m)
+}
+
+/// Frequencies (rad/s, positive, sorted) at which a singular value of the
+/// model crosses one, obtained as the purely imaginary eigenvalues of the
+/// Hamiltonian matrix.
+///
+/// # Errors
+///
+/// See [`hamiltonian_matrix`]; eigenvalue solver failures are propagated.
+pub fn hamiltonian_crossings(sys: &StateSpace) -> Result<Vec<f64>> {
+    let m = hamiltonian_matrix(sys)?;
+    let evs = eigenvalues(&m)?;
+    // An eigenvalue is treated as (numerically) purely imaginary when its
+    // real part is small *relative to its own magnitude*. The tolerance is
+    // deliberately loose: for large, highly non-normal Hamiltonian matrices
+    // the computed eigenvalues carry noticeable roundoff, and it is safer to
+    // report a few extra candidate frequencies (the singular-value sweep
+    // verifies them) than to miss a genuine crossing.
+    let mut crossings: Vec<f64> = evs
+        .iter()
+        .filter(|e| e.im > 0.0 && e.re.abs() <= 1e-4 * e.abs())
+        .map(|e| e.im)
+        .collect();
+    crossings.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    // Merge near-duplicates produced by the eigenvalue solver.
+    let mut merged: Vec<f64> = Vec::with_capacity(crossings.len());
+    for w in crossings {
+        if merged.last().map_or(true, |&last| (w - last).abs() > 1e-9 * w.max(1.0)) {
+            merged.push(w);
+        }
+    }
+    Ok(merged)
+}
+
+/// Returns `true` when the Hamiltonian test reports no unit-singular-value
+/// crossing **and** the asymptotic feedthrough is contractive.
+///
+/// # Errors
+///
+/// See [`hamiltonian_crossings`].
+pub fn is_passive(sys: &StateSpace) -> Result<bool> {
+    let d_sv = singular_values(&sys.d().to_complex())?;
+    if d_sv.first().copied().unwrap_or(0.0) >= 1.0 {
+        return Ok(false);
+    }
+    Ok(hamiltonian_crossings(sys)?.is_empty())
+}
+
+/// Sweeps all singular values of `S(jω)` over the given angular frequencies.
+/// Returns one vector of descending singular values per frequency.
+///
+/// # Errors
+///
+/// Propagates evaluation and SVD failures.
+pub fn singular_value_sweep(model: &PoleResidueModel, omegas: &[f64]) -> Result<Vec<Vec<f64>>> {
+    let mut out = Vec::with_capacity(omegas.len());
+    for &omega in omegas {
+        let s = model
+            .evaluate_at_omega(omega)
+            .map_err(PassivityError::StateSpace)?;
+        out.push(singular_values(&s)?);
+    }
+    Ok(out)
+}
+
+/// Builds a complete passivity report for a pole–residue macromodel:
+/// Hamiltonian crossings plus a singular-value sweep on `omegas` refined
+/// around the crossing frequencies.
+///
+/// # Errors
+///
+/// Propagates realization, eigenvalue and SVD failures.
+pub fn assess(model: &PoleResidueModel, omegas: &[f64]) -> Result<PassivityReport> {
+    let sys = StateSpace::from_pole_residue(model)?;
+    let crossings = hamiltonian_crossings(&sys)?;
+
+    // Refine the sweep grid: original samples plus points between and around
+    // consecutive crossings (violation extrema live between crossings).
+    let mut grid: Vec<f64> = omegas.to_vec();
+    for pair in crossings.windows(2) {
+        grid.push(0.5 * (pair[0] + pair[1]));
+        grid.push((pair[0] * pair[1]).max(0.0).sqrt());
+    }
+    for &w in &crossings {
+        grid.push(w * 0.999);
+        grid.push(w * 1.001);
+    }
+    if let Some(&last) = crossings.last() {
+        grid.push(last * 1.05);
+    }
+    if let Some(&first) = crossings.first() {
+        grid.push((first * 0.95).max(0.0));
+    }
+    grid.retain(|w| w.is_finite() && *w >= 0.0);
+    grid.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    grid.dedup_by(|a, b| (*a - *b).abs() <= f64::EPSILON * a.abs().max(1.0));
+
+    let sweep = singular_value_sweep(model, &grid)?;
+    let mut sigma_max = 0.0;
+    let mut omega_at = 0.0;
+    for (k, sv) in sweep.iter().enumerate() {
+        let s = sv.first().copied().unwrap_or(0.0);
+        if s > sigma_max {
+            sigma_max = s;
+            omega_at = grid[k];
+        }
+    }
+
+    // Violation bands from the sweep.
+    let mut bands = Vec::new();
+    let mut current: Option<ViolationBand> = None;
+    for (k, sv) in sweep.iter().enumerate() {
+        let s = sv.first().copied().unwrap_or(0.0);
+        if s > 1.0 {
+            let w = grid[k];
+            match &mut current {
+                Some(band) => {
+                    band.omega_high = w;
+                    if s > band.sigma_peak {
+                        band.sigma_peak = s;
+                        band.omega_peak = w;
+                    }
+                }
+                None => {
+                    current = Some(ViolationBand {
+                        omega_low: w,
+                        omega_high: w,
+                        omega_peak: w,
+                        sigma_peak: s,
+                    });
+                }
+            }
+        } else if let Some(band) = current.take() {
+            bands.push(band);
+        }
+    }
+    if let Some(band) = current.take() {
+        bands.push(band);
+    }
+
+    // The passivity verdict is based on the singular-value sweep (refined
+    // around the Hamiltonian candidate frequencies): the Hamiltonian
+    // eigenvalues locate candidate crossings very reliably, but deciding
+    // passivity purely from their imaginary-axis classification is too
+    // sensitive to eigenvalue roundoff for large models.
+    let passive = bands.is_empty() && sigma_max <= 1.0;
+    Ok(PassivityReport { passive, sigma_max, omega_at_sigma_max: omega_at, bands, hamiltonian_crossings: crossings })
+}
+
+/// Largest singular value of the model's scattering matrix at one frequency,
+/// together with the corresponding singular vectors (used by the constraint
+/// linearization).
+///
+/// # Errors
+///
+/// Propagates evaluation and SVD failures.
+pub fn sigma_max_at(model: &PoleResidueModel, omega: f64) -> Result<f64> {
+    let s = model.evaluate_at_omega(omega).map_err(PassivityError::StateSpace)?;
+    Ok(svd(&s)?.sigma_max())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_linalg::{CMat, Complex64};
+
+    fn c(re: f64, im: f64) -> Complex64 {
+        Complex64::new(re, im)
+    }
+
+    /// A clearly passive 1-port: S(s) = k/(s+a) with k < a and |D| < 1.
+    fn passive_model() -> PoleResidueModel {
+        PoleResidueModel::new(
+            vec![c(-100.0, 0.0)],
+            vec![CMat::from_diag(&[c(40.0, 0.0)])],
+            Mat::from_diag(&[0.2]),
+        )
+        .unwrap()
+    }
+
+    /// A 1-port with a localized passivity violation: a resonant pair whose
+    /// peak pushes the magnitude slightly above one.
+    fn violating_model() -> PoleResidueModel {
+        let p = c(-50.0, 1000.0);
+        let r = c(30.0, 12.0);
+        PoleResidueModel::new(
+            vec![p, p.conj()],
+            vec![CMat::from_diag(&[r]), CMat::from_diag(&[r.conj()])],
+            Mat::from_diag(&[0.85]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn passive_model_passes_all_tests() {
+        let m = passive_model();
+        let sys = StateSpace::from_pole_residue(&m).unwrap();
+        assert!(is_passive(&sys).unwrap());
+        assert!(hamiltonian_crossings(&sys).unwrap().is_empty());
+        let omegas: Vec<f64> = (0..100).map(|k| k as f64 * 20.0).collect();
+        let report = assess(&m, &omegas).unwrap();
+        assert!(report.passive);
+        assert!(report.sigma_max <= 1.0);
+        assert!(report.bands.is_empty());
+    }
+
+    #[test]
+    fn violating_model_is_flagged_with_band_location() {
+        let m = violating_model();
+        let sys = StateSpace::from_pole_residue(&m).unwrap();
+        assert!(!is_passive(&sys).unwrap());
+        let crossings = hamiltonian_crossings(&sys).unwrap();
+        assert!(!crossings.is_empty());
+        // The violation must be near the resonance at 1000 rad/s.
+        assert!(crossings.iter().any(|&w| (w - 1000.0).abs() < 300.0));
+        let omegas: Vec<f64> = (1..400).map(|k| k as f64 * 5.0).collect();
+        let report = assess(&m, &omegas).unwrap();
+        assert!(!report.passive);
+        assert!(report.sigma_max > 1.0);
+        assert!(!report.bands.is_empty());
+        let band = report.bands[0];
+        assert!(band.omega_peak > 500.0 && band.omega_peak < 1500.0);
+        assert!(band.sigma_peak > 1.0);
+        assert!(band.omega_low <= band.omega_peak && band.omega_peak <= band.omega_high);
+    }
+
+    #[test]
+    fn sweep_matches_direct_evaluation() {
+        let m = violating_model();
+        let omegas = vec![0.0, 500.0, 1000.0, 2000.0];
+        let sweep = singular_value_sweep(&m, &omegas).unwrap();
+        assert_eq!(sweep.len(), 4);
+        for (k, &w) in omegas.iter().enumerate() {
+            let direct = sigma_max_at(&m, w).unwrap();
+            assert!((sweep[k][0] - direct).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn hamiltonian_crossings_match_sweep_crossings() {
+        // The singular value of the violating model crosses 1 exactly at the
+        // Hamiltonian crossing frequencies.
+        let m = violating_model();
+        let sys = StateSpace::from_pole_residue(&m).unwrap();
+        let crossings = hamiltonian_crossings(&sys).unwrap();
+        for &w in &crossings {
+            let s = sigma_max_at(&m, w).unwrap();
+            assert!((s - 1.0).abs() < 1e-6, "sigma at crossing {w} is {s}");
+        }
+    }
+
+    #[test]
+    fn non_square_feedthrough_at_unit_singular_value_is_rejected() {
+        // D with a singular value exactly 1 makes the Hamiltonian undefined.
+        let m = PoleResidueModel::new(
+            vec![c(-1.0, 0.0)],
+            vec![CMat::from_diag(&[c(0.1, 0.0)])],
+            Mat::from_diag(&[1.0]),
+        )
+        .unwrap();
+        let sys = StateSpace::from_pole_residue(&m).unwrap();
+        assert!(hamiltonian_matrix(&sys).is_err());
+    }
+
+    #[test]
+    fn multiport_passive_model() {
+        // A diagonal 2-port with two passive reflection coefficients.
+        let m = PoleResidueModel::new(
+            vec![c(-200.0, 0.0)],
+            vec![CMat::from_diag(&[c(50.0, 0.0), c(30.0, 0.0)])],
+            Mat::from_diag(&[0.3, -0.2]),
+        )
+        .unwrap();
+        let sys = StateSpace::from_pole_residue(&m).unwrap();
+        assert!(is_passive(&sys).unwrap());
+        let omegas: Vec<f64> = (0..50).map(|k| k as f64 * 40.0).collect();
+        let report = assess(&m, &omegas).unwrap();
+        assert!(report.passive);
+    }
+}

@@ -1,0 +1,602 @@
+//! The iterative passivity enforcement loop (eq. 9 of the paper).
+//!
+//! Each iteration locates the passivity violations of the current model
+//! (Hamiltonian test + singular-value sweep), linearizes the local
+//! constraints at the violation frequencies, solves the Gramian-weighted
+//! quadratic program for the smallest perturbation of the output matrix that
+//! removes the violations to first order, and applies it. The loop repeats
+//! until the model is passive or the iteration budget is exhausted.
+//!
+//! The perturbation norm is supplied by the caller through
+//! [`PerturbationNorm`]: the plain controllability Gramians give the standard
+//! L2 enforcement of eq. (10)–(11), while the sensitivity-weighted Gramians of
+//! eq. (19)–(21) (built by `pim-core`) give the paper's method.
+
+use crate::check::{assess, PassivityReport};
+use crate::constraints::{apply_perturbation, build_constraints};
+use crate::qp::{solve_block_qp, QpOptions};
+use crate::{PassivityError, Result};
+use pim_linalg::svd::svd;
+use pim_linalg::{Complex64, Mat};
+use pim_statespace::gramian::element_gramian;
+use pim_statespace::{PoleResidueModel, StateSpace};
+
+/// The per-element quadratic forms defining the perturbation norm
+/// `‖δS‖² = Σ_e δc_e G_e δc_eᵀ`.
+#[derive(Debug, Clone)]
+pub struct PerturbationNorm {
+    /// One Gramian per matrix element, in row-major element order
+    /// (`(i, j) → i·P + j`), each `N × N`.
+    gramians: Vec<Mat>,
+    ports: usize,
+    states: usize,
+}
+
+impl PerturbationNorm {
+    /// Builds a norm from explicit per-element Gramians (row-major element
+    /// order, each `N × N` where `N` is the model order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PassivityError::InvalidInput`] when the number or the size
+    /// of the blocks is inconsistent.
+    pub fn from_gramians(gramians: Vec<Mat>, ports: usize, states: usize) -> Result<Self> {
+        if gramians.len() != ports * ports {
+            return Err(PassivityError::InvalidInput(format!(
+                "expected {} Gramian blocks, got {}",
+                ports * ports,
+                gramians.len()
+            )));
+        }
+        if gramians.iter().any(|g| g.shape() != (states, states)) {
+            return Err(PassivityError::InvalidInput(format!(
+                "every Gramian block must be {states}x{states}"
+            )));
+        }
+        Ok(PerturbationNorm { gramians, ports, states })
+    }
+
+    /// The standard (unweighted) L2 norm of eq. (10): every element is
+    /// weighted by the plain controllability Gramian of the shared
+    /// per-element realization.
+    ///
+    /// # Errors
+    ///
+    /// Propagates realization and Lyapunov failures.
+    pub fn standard(model: &PoleResidueModel) -> Result<Self> {
+        let ports = model.ports();
+        let element = StateSpace::from_pole_residue_element(model, 0, 0)?;
+        let p = element_gramian(&element).map_err(PassivityError::StateSpace)?;
+        let states = element.order();
+        Ok(PerturbationNorm { gramians: vec![p; ports * ports], ports, states })
+    }
+
+    /// The Gramian blocks (row-major element order).
+    pub fn gramians(&self) -> &[Mat] {
+        &self.gramians
+    }
+
+    /// Number of ports the norm was built for.
+    pub fn ports(&self) -> usize {
+        self.ports
+    }
+
+    /// States per element.
+    pub fn states(&self) -> usize {
+        self.states
+    }
+
+    /// Evaluates the norm `Σ_e δc_e G_e δc_eᵀ` of a stacked perturbation
+    /// vector (diagnostic helper).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PassivityError::InvalidInput`] on a length mismatch.
+    pub fn evaluate(&self, delta: &[f64]) -> Result<f64> {
+        if delta.len() != self.ports * self.ports * self.states {
+            return Err(PassivityError::InvalidInput(format!(
+                "perturbation vector has {} entries, expected {}",
+                delta.len(),
+                self.ports * self.ports * self.states
+            )));
+        }
+        let mut total = 0.0;
+        for (e, g) in self.gramians.iter().enumerate() {
+            let seg = &delta[e * self.states..(e + 1) * self.states];
+            let gs = g.matvec(seg)?;
+            total += seg.iter().zip(&gs).map(|(a, b)| a * b).sum::<f64>();
+        }
+        Ok(total)
+    }
+}
+
+/// Configuration of the enforcement loop.
+#[derive(Debug, Clone)]
+pub struct EnforcementConfig {
+    /// Maximum number of outer perturbation iterations.
+    pub max_iterations: usize,
+    /// Safety margin below one imposed on the constrained singular values
+    /// (the constraints read `σ + δσ ≤ 1 − margin`).
+    pub sigma_margin: f64,
+    /// Singular values above this threshold are constrained at every
+    /// violation frequency (keeping slightly sub-unit singular values under
+    /// control improves convergence).
+    pub sigma_threshold: f64,
+    /// Number of points of the baseline singular-value sweep.
+    pub sweep_points: usize,
+    /// Additional constraint frequencies per violation band beyond the peak
+    /// (band edges and midpoints).
+    pub band_edge_constraints: bool,
+    /// Enforce residue-matrix symmetry after every perturbation (reciprocal
+    /// structures).
+    pub preserve_symmetry: bool,
+    /// Halve the perturbation step when it makes the worst singular value
+    /// larger (the linearized constraints can overshoot for strong
+    /// violations or strongly skewed norms).
+    pub backtracking: bool,
+    /// Options of the inner quadratic program.
+    pub qp: QpOptions,
+}
+
+impl Default for EnforcementConfig {
+    fn default() -> Self {
+        EnforcementConfig {
+            max_iterations: 30,
+            sigma_margin: 1e-4,
+            sigma_threshold: 0.999,
+            sweep_points: 400,
+            band_edge_constraints: true,
+            preserve_symmetry: false,
+            backtracking: true,
+            qp: QpOptions::default(),
+        }
+    }
+}
+
+/// Result of a passivity enforcement run.
+#[derive(Debug, Clone)]
+pub struct EnforcementOutcome {
+    /// The final (passive, unless the loop gave up) macromodel.
+    pub model: PoleResidueModel,
+    /// Number of outer iterations performed.
+    pub iterations: usize,
+    /// Worst singular value after each iteration (starting with the initial
+    /// model).
+    pub sigma_max_history: Vec<f64>,
+    /// Accumulated perturbation norm `Σ ‖δS‖²` over all iterations.
+    pub accumulated_norm: f64,
+    /// Final passivity report.
+    pub report: PassivityReport,
+}
+
+/// Enforces asymptotic passivity by clipping the singular values of the
+/// constant (feedthrough) term `D` to `limit`.
+///
+/// The perturbation loop only adjusts the output matrix `C`, which cannot
+/// change the `ω → ∞` behaviour; if the fitted `D` is even marginally
+/// non-contractive the loop could never terminate. This step removes such
+/// violations up front with a minimal (spectral-norm optimal) correction of
+/// `D`.
+///
+/// # Errors
+///
+/// Returns [`PassivityError::InvalidInput`] for a non-positive limit and
+/// propagates SVD failures.
+pub fn enforce_asymptotic_passivity(
+    model: &PoleResidueModel,
+    limit: f64,
+) -> Result<PoleResidueModel> {
+    if !(limit > 0.0) {
+        return Err(PassivityError::InvalidInput("the feedthrough limit must be positive".into()));
+    }
+    let decomposition = svd(&model.d().to_complex())?;
+    if decomposition.sigma_max() <= limit {
+        return Ok(model.clone());
+    }
+    let p = model.ports();
+    let mut clipped = pim_linalg::CMat::zeros(p, p);
+    for (idx, &sigma) in decomposition.singular_values.iter().enumerate() {
+        let s = sigma.min(limit);
+        if s == 0.0 {
+            continue;
+        }
+        let u = decomposition.u.col(idx);
+        let v = decomposition.v.col(idx);
+        for i in 0..p {
+            for j in 0..p {
+                clipped[(i, j)] += u[i] * v[j].conj() * Complex64::from_real(s);
+            }
+        }
+    }
+    let d_new = clipped.real();
+    Ok(PoleResidueModel::new(model.poles().to_vec(), model.residues().to_vec(), d_new)?)
+}
+
+/// Runs the iterative perturbation loop until the model is passive.
+///
+/// The asymptotic term is clipped first (see
+/// [`enforce_asymptotic_passivity`]); the loop then perturbs only the
+/// residues / output matrix as in the paper.
+///
+/// # Errors
+///
+/// Returns [`PassivityError::NotConverged`] when the iteration budget is
+/// exhausted, and propagates numerical failures of the inner steps.
+pub fn enforce_passivity(
+    model: &PoleResidueModel,
+    norm: &PerturbationNorm,
+    band_max_omega: f64,
+    config: &EnforcementConfig,
+) -> Result<EnforcementOutcome> {
+    if norm.ports() != model.ports() || norm.states() != model.order() {
+        return Err(PassivityError::InvalidInput(format!(
+            "norm was built for a {}-port order-{} model, got {}-port order-{}",
+            norm.ports(),
+            norm.states(),
+            model.ports(),
+            model.order()
+        )));
+    }
+    if !(band_max_omega > 0.0) {
+        return Err(PassivityError::InvalidInput(
+            "band_max_omega must be positive".into(),
+        ));
+    }
+    if config.sweep_points < 10 {
+        return Err(PassivityError::InvalidInput("sweep_points must be at least 10".into()));
+    }
+
+    // Baseline sweep grid: logarithmic over (0, band_max_omega] extended one
+    // octave above the band, plus DC.
+    let sweep: Vec<f64> = {
+        let top = band_max_omega * 2.0;
+        let bottom = band_max_omega * 1e-8;
+        let n = config.sweep_points;
+        let mut v: Vec<f64> = (0..n)
+            .map(|k| {
+                10f64.powf(
+                    bottom.log10() + (top.log10() - bottom.log10()) * k as f64 / (n - 1) as f64,
+                )
+            })
+            .collect();
+        v.insert(0, 0.0);
+        v
+    };
+
+    let mut current = enforce_asymptotic_passivity(model, 1.0 - config.sigma_margin)?;
+    let mut history = Vec::new();
+    let mut accumulated_norm = 0.0;
+    let mut iterations = 0;
+
+    // A denser grid used to double-check apparent convergence: narrow
+    // violation bands can slip between the points of the working sweep.
+    let verify_sweep: Vec<f64> = {
+        let top = band_max_omega * 2.0;
+        let bottom = band_max_omega * 1e-8;
+        let n = config.sweep_points * 4;
+        let mut v: Vec<f64> = (0..n)
+            .map(|k| {
+                10f64.powf(
+                    bottom.log10() + (top.log10() - bottom.log10()) * k as f64 / (n - 1) as f64,
+                )
+            })
+            .collect();
+        v.insert(0, 0.0);
+        v
+    };
+
+    loop {
+        let mut report = assess(&current, &sweep)?;
+        if report.passive {
+            // Verify on the dense grid before declaring success; fall back to
+            // the dense report (with its violation bands) otherwise.
+            let verification = assess(&current, &verify_sweep)?;
+            if verification.passive {
+                history.push(verification.sigma_max);
+                return Ok(EnforcementOutcome {
+                    model: current,
+                    iterations,
+                    sigma_max_history: history,
+                    accumulated_norm,
+                    report: verification,
+                });
+            }
+            report = verification;
+        }
+        history.push(report.sigma_max);
+        if iterations >= config.max_iterations {
+            return Err(PassivityError::NotConverged {
+                iterations,
+                sigma_max: report.sigma_max,
+            });
+        }
+        iterations += 1;
+
+        // Constraint frequencies: violation-band peaks (and optionally edges
+        // and midpoints), plus the Hamiltonian crossings themselves.
+        let mut freqs: Vec<f64> = Vec::new();
+        for band in &report.bands {
+            freqs.push(band.omega_peak);
+            if config.band_edge_constraints {
+                freqs.push(band.omega_low);
+                freqs.push(band.omega_high);
+                freqs.push(0.5 * (band.omega_low + band.omega_high));
+            }
+        }
+        for &w in &report.hamiltonian_crossings {
+            freqs.push(w);
+        }
+        if freqs.is_empty() {
+            // σ_max > 1 can also happen strictly at DC or at the asymptote.
+            freqs.push(report.omega_at_sigma_max);
+        }
+        freqs.retain(|w| w.is_finite() && *w >= 0.0);
+        freqs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        freqs.dedup_by(|a, b| (*a - *b).abs() <= 1e-9 * a.abs().max(1.0));
+
+        let element = StateSpace::from_pole_residue_element(&current, 0, 0)?;
+        let cons = build_constraints(
+            &current,
+            &element,
+            &freqs,
+            config.sigma_threshold,
+            config.sigma_margin,
+        )?;
+        if cons.rows() == 0 {
+            return Err(PassivityError::InvalidInput(
+                "violations were detected but no constraint could be formed; \
+                 lower sigma_threshold"
+                    .into(),
+            ));
+        }
+        let qp = solve_block_qp(norm.gramians(), &cons.f, &cons.g, &config.qp)?;
+
+        let mut delta = qp.x;
+        if config.preserve_symmetry {
+            symmetrize_delta(&mut delta, current.ports(), current.order());
+        }
+
+        // Backtracking safeguard: the constraints are linearized, so a full
+        // step can overshoot and make the worst singular value larger. Halve
+        // the step until it no longer degrades the violation (or give up and
+        // take the smallest step, letting the next iteration re-linearize).
+        let mut step = 1.0_f64;
+        loop {
+            let scaled: Vec<f64> = delta.iter().map(|v| v * step).collect();
+            let candidate = apply_perturbation(&current, &scaled)?;
+            let candidate_sigma = assess(&candidate, &sweep)?.sigma_max;
+            if !config.backtracking
+                || candidate_sigma <= report.sigma_max * (1.0 + 1e-9)
+                || step <= 1.0 / 16.0
+            {
+                accumulated_norm += norm.evaluate(&scaled)?;
+                current = candidate;
+                break;
+            }
+            step *= 0.5;
+        }
+    }
+}
+
+/// Averages the perturbations of elements `(i, j)` and `(j, i)` so a
+/// symmetric model stays symmetric.
+fn symmetrize_delta(delta: &mut [f64], ports: usize, states: usize) {
+    for i in 0..ports {
+        for j in (i + 1)..ports {
+            for m in 0..states {
+                let a = (i * ports + j) * states + m;
+                let b = (j * ports + i) * states + m;
+                let avg = 0.5 * (delta[a] + delta[b]);
+                delta[a] = avg;
+                delta[b] = avg;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::{assess, sigma_max_at};
+    use pim_linalg::{CMat, Complex64};
+    use pim_rfdata::metrics::relative_rms_error;
+
+    fn c(re: f64, im: f64) -> Complex64 {
+        Complex64::new(re, im)
+    }
+
+    /// A 1-port with a mild localized violation near 1000 rad/s.
+    fn violating_one_port() -> PoleResidueModel {
+        let p = c(-50.0, 1000.0);
+        let r = c(30.0, 12.0);
+        PoleResidueModel::new(
+            vec![p, p.conj()],
+            vec![CMat::from_diag(&[r]), CMat::from_diag(&[r.conj()])],
+            Mat::from_diag(&[0.85]),
+        )
+        .unwrap()
+    }
+
+    /// A symmetric 2-port with violations.
+    fn violating_two_port() -> PoleResidueModel {
+        let p = c(-60.0, 900.0);
+        let r = CMat::from_fn(2, 2, |i, j| c(22.0 + 5.0 * (i + j) as f64, 8.0 - 2.0 * (i + j) as f64));
+        PoleResidueModel::new(
+            vec![p, p.conj(), c(-3000.0, 0.0)],
+            vec![r.clone(), r.conj(), CMat::from_diag(&[c(120.0, 0.0), c(100.0, 0.0)])],
+            Mat::from_fn(2, 2, |i, j| if i == j { 0.8 } else { 0.05 }),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn enforcement_produces_a_passive_one_port() {
+        let model = violating_one_port();
+        let norm = PerturbationNorm::standard(&model).unwrap();
+        let cfg = EnforcementConfig { sweep_points: 200, ..Default::default() };
+        let out = enforce_passivity(&model, &norm, 5000.0, &cfg).unwrap();
+        assert!(out.report.passive);
+        assert!(out.iterations >= 1 && out.iterations <= cfg.max_iterations);
+        assert!(out.report.sigma_max <= 1.0 + 1e-9);
+        // The perturbed model keeps the original poles.
+        for (a, b) in model.poles().iter().zip(out.model.poles()) {
+            assert_eq!(a, b);
+        }
+        // sigma_max history is non-increasing in its last step and starts >1.
+        assert!(out.sigma_max_history[0] > 1.0);
+        assert!(*out.sigma_max_history.last().unwrap() <= 1.0 + 1e-9);
+        assert!(out.accumulated_norm > 0.0);
+    }
+
+    #[test]
+    fn enforcement_changes_the_response_only_mildly() {
+        let model = violating_one_port();
+        let norm = PerturbationNorm::standard(&model).unwrap();
+        let cfg = EnforcementConfig { sweep_points: 200, ..Default::default() };
+        let out = enforce_passivity(&model, &norm, 5000.0, &cfg).unwrap();
+        // Compare responses far from the violation: they must stay close.
+        let omegas: Vec<f64> = (1..60).map(|k| k as f64 * 10.0).collect();
+        let before: Vec<Complex64> = omegas
+            .iter()
+            .map(|&w| model.evaluate_at_omega(w).unwrap()[(0, 0)])
+            .collect();
+        let after: Vec<Complex64> = omegas
+            .iter()
+            .map(|&w| out.model.evaluate_at_omega(w).unwrap()[(0, 0)])
+            .collect();
+        let err = relative_rms_error(&before, &after).unwrap();
+        assert!(err < 0.1, "relative deviation {err} too large");
+    }
+
+    #[test]
+    fn enforcement_handles_two_port_and_preserves_symmetry() {
+        let model = violating_two_port();
+        let norm = PerturbationNorm::standard(&model).unwrap();
+        let cfg = EnforcementConfig {
+            sweep_points: 200,
+            preserve_symmetry: true,
+            ..Default::default()
+        };
+        let out = enforce_passivity(&model, &norm, 6000.0, &cfg).unwrap();
+        assert!(out.report.passive);
+        for r in out.model.residues() {
+            assert!((r[(0, 1)] - r[(1, 0)]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn already_passive_model_is_returned_unchanged() {
+        let model = PoleResidueModel::new(
+            vec![c(-100.0, 0.0)],
+            vec![CMat::from_diag(&[c(40.0, 0.0)])],
+            Mat::from_diag(&[0.2]),
+        )
+        .unwrap();
+        let norm = PerturbationNorm::standard(&model).unwrap();
+        let out =
+            enforce_passivity(&model, &norm, 1000.0, &EnforcementConfig::default()).unwrap();
+        assert_eq!(out.iterations, 0);
+        assert!(out.report.passive);
+        assert_eq!(out.accumulated_norm, 0.0);
+        for (a, b) in model.residues().iter().zip(out.model.residues()) {
+            assert!(a.max_abs_diff(b) < 1e-15);
+        }
+    }
+
+    #[test]
+    fn iteration_budget_is_respected() {
+        let model = violating_one_port();
+        let norm = PerturbationNorm::standard(&model).unwrap();
+        let cfg = EnforcementConfig { max_iterations: 0, sweep_points: 100, ..Default::default() };
+        match enforce_passivity(&model, &norm, 5000.0, &cfg) {
+            Err(PassivityError::NotConverged { iterations, sigma_max }) => {
+                assert_eq!(iterations, 0);
+                assert!(sigma_max > 1.0);
+            }
+            other => panic!("expected NotConverged, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn norm_validation_and_evaluation() {
+        let model = violating_one_port();
+        let norm = PerturbationNorm::standard(&model).unwrap();
+        assert_eq!(norm.ports(), 1);
+        assert_eq!(norm.states(), 2);
+        assert_eq!(norm.gramians().len(), 1);
+        let v = norm.evaluate(&[1.0, 0.0]).unwrap();
+        assert!(v > 0.0);
+        assert!(norm.evaluate(&[1.0]).is_err());
+        assert!(PerturbationNorm::from_gramians(vec![Mat::identity(2)], 2, 2).is_err());
+        assert!(PerturbationNorm::from_gramians(vec![Mat::identity(3)], 1, 2).is_err());
+        // Mismatched norm vs model is rejected by the loop.
+        let other = violating_two_port();
+        assert!(enforce_passivity(&other, &norm, 100.0, &EnforcementConfig::default()).is_err());
+        assert!(enforce_passivity(&model, &norm, -1.0, &EnforcementConfig::default()).is_err());
+        let bad_cfg = EnforcementConfig { sweep_points: 3, ..Default::default() };
+        assert!(enforce_passivity(&model, &norm, 100.0, &bad_cfg).is_err());
+    }
+
+    #[test]
+    fn weighted_norm_changes_where_the_perturbation_lands() {
+        // Weight element (0,0) enormously: the enforcement should prefer to
+        // perturb it less than with the standard norm. We verify through the
+        // low-frequency response deviation of the two passive models.
+        let model = violating_two_port();
+        let standard = PerturbationNorm::standard(&model).unwrap();
+        let heavy = {
+            let mut blocks = standard.gramians().to_vec();
+            blocks[0] = blocks[0].scaled(100.0);
+            PerturbationNorm::from_gramians(blocks, 2, 3).unwrap()
+        };
+        let cfg =
+            EnforcementConfig { sweep_points: 150, max_iterations: 60, ..Default::default() };
+        let out_std = enforce_passivity(&model, &standard, 6000.0, &cfg).unwrap();
+        let out_w = enforce_passivity(&model, &heavy, 6000.0, &cfg).unwrap();
+        assert!(out_std.report.passive && out_w.report.passive);
+        let dev = |m: &PoleResidueModel| -> f64 {
+            let mut acc: f64 = 0.0;
+            for k in 1..40 {
+                let w = k as f64 * 20.0;
+                let a = m.evaluate_at_omega(w).unwrap()[(0, 0)];
+                let b = model.evaluate_at_omega(w).unwrap()[(0, 0)];
+                acc = acc.max((a - b).abs());
+            }
+            acc
+        };
+        assert!(
+            dev(&out_w.model) <= dev(&out_std.model) + 1e-12,
+            "heavily weighting element (0,0) must not increase its deviation"
+        );
+        let _ = sigma_max_at(&out_w.model, 900.0).unwrap();
+        let _ = assess(&out_w.model, &[0.0, 900.0]).unwrap();
+    }
+}
+
+#[cfg(test)]
+mod asymptotic_tests {
+    use super::*;
+    use pim_linalg::svd::sigma_max;
+    use pim_linalg::{CMat, Complex64};
+
+    #[test]
+    fn clipping_reduces_feedthrough_singular_values() {
+        let model = PoleResidueModel::new(
+            vec![Complex64::new(-100.0, 0.0)],
+            vec![CMat::from_diag(&[Complex64::new(10.0, 0.0), Complex64::new(5.0, 0.0)])],
+            Mat::from_rows(&[&[1.05, 0.2], &[0.2, 0.7]]),
+        )
+        .unwrap();
+        let before = sigma_max(&model.d().to_complex()).unwrap();
+        assert!(before > 1.0);
+        let clipped = enforce_asymptotic_passivity(&model, 0.999).unwrap();
+        let after = sigma_max(&clipped.d().to_complex()).unwrap();
+        assert!(after <= 0.999 + 1e-9, "after {after}");
+        // The smaller singular value and the residues are untouched.
+        assert!(clipped.residues()[0].max_abs_diff(&model.residues()[0]) < 1e-15);
+        // An already-contractive D passes through unchanged.
+        let same = enforce_asymptotic_passivity(&clipped, 0.999).unwrap();
+        assert!(same.d().max_abs_diff(clipped.d()) < 1e-12);
+        assert!(enforce_asymptotic_passivity(&model, 0.0).is_err());
+    }
+}

@@ -1,0 +1,91 @@
+//! # pim-passivity
+//!
+//! Passivity assessment and enforcement for scattering macromodels, as used
+//! by the DATE 2014 sensitivity-weighted passivity enforcement reproduction:
+//!
+//! * [`check`] — Hamiltonian-matrix passivity test (imaginary eigenvalues
+//!   locate the unit-singular-value crossings) and singular-value sweeps
+//!   (`σ_i(jω)` versus frequency, Fig. 4 of the paper);
+//! * [`constraints`] — linearization of the local constraints
+//!   `σ_i(jω_ν) + δσ_i(jω_ν) ≤ 1` (eq. 8) with respect to a perturbation of
+//!   the state-space output matrix `C`;
+//! * [`qp`] — the convex quadratic program of eq. (9): minimize a
+//!   Gramian-weighted norm of `δC` under the linear constraints, solved by a
+//!   dual coordinate-ascent (Hildreth) method;
+//! * [`enforce`] — the outer iterative perturbation loop. The loop is
+//!   parameterized by the per-element Gramians that define the perturbation
+//!   norm, so the *same* code runs both the standard L2 enforcement (eq. 10)
+//!   and the sensitivity-weighted enforcement of the paper (eq. 20–21, built
+//!   by `pim-core`).
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod check;
+pub mod constraints;
+pub mod enforce;
+pub mod qp;
+
+pub use check::{hamiltonian_crossings, is_passive, singular_value_sweep, PassivityReport, ViolationBand};
+pub use enforce::{enforce_passivity, EnforcementConfig, EnforcementOutcome, PerturbationNorm};
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the passivity tooling.
+#[derive(Debug)]
+pub enum PassivityError {
+    /// The underlying linear algebra kernel failed.
+    Linalg(pim_linalg::LinalgError),
+    /// Model manipulation failed.
+    StateSpace(pim_statespace::StateSpaceError),
+    /// The input model or configuration is invalid.
+    InvalidInput(String),
+    /// The enforcement loop exhausted its iteration budget without producing
+    /// a passive model.
+    NotConverged {
+        /// Number of outer iterations performed.
+        iterations: usize,
+        /// Worst singular value at the end of the loop.
+        sigma_max: f64,
+    },
+}
+
+impl fmt::Display for PassivityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PassivityError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+            PassivityError::StateSpace(e) => write!(f, "model manipulation failure: {e}"),
+            PassivityError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            PassivityError::NotConverged { iterations, sigma_max } => write!(
+                f,
+                "passivity enforcement did not converge after {iterations} iterations (sigma_max = {sigma_max})"
+            ),
+        }
+    }
+}
+
+impl Error for PassivityError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PassivityError::Linalg(e) => Some(e),
+            PassivityError::StateSpace(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<pim_linalg::LinalgError> for PassivityError {
+    fn from(e: pim_linalg::LinalgError) -> Self {
+        PassivityError::Linalg(e)
+    }
+}
+
+impl From<pim_statespace::StateSpaceError> for PassivityError {
+    fn from(e: pim_statespace::StateSpaceError) -> Self {
+        PassivityError::StateSpace(e)
+    }
+}
+
+/// Result alias used by every fallible routine in this crate.
+pub type Result<T> = std::result::Result<T, PassivityError>;

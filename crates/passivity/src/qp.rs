@@ -1,0 +1,239 @@
+//! The convex quadratic program of the perturbation step (eq. 9 of the
+//! paper): minimize a block-diagonal Gramian-weighted norm of the output
+//! matrix perturbation under the linearized passivity constraints.
+//!
+//! The problem is
+//!
+//! ```text
+//! minimize    Σ_e  δc_e · G_e · δc_eᵀ
+//! subject to  F · x ≤ g
+//! ```
+//!
+//! with `x` stacking the per-element rows `δc_e` and each `G_e` symmetric
+//! positive definite (a controllability Gramian, plain or sensitivity
+//! weighted). The dual of this strictly convex QP is a bound-constrained
+//! quadratic maximization solved here by Hildreth's coordinate ascent, which
+//! is simple, allocation-light and well suited to the modest constraint
+//! counts produced by the enforcement loop.
+
+use crate::{PassivityError, Result};
+use pim_linalg::lu::Lu;
+use pim_linalg::Mat;
+
+/// Options of the dual coordinate-ascent solver.
+#[derive(Debug, Clone)]
+pub struct QpOptions {
+    /// Maximum number of dual sweeps.
+    pub max_iterations: usize,
+    /// Convergence threshold on the relative change of the dual variables.
+    pub tolerance: f64,
+    /// Relative Tikhonov regularization added to each Gramian block to keep
+    /// the Hessian safely positive definite.
+    pub regularization: f64,
+}
+
+impl Default for QpOptions {
+    fn default() -> Self {
+        QpOptions { max_iterations: 2000, tolerance: 1e-10, regularization: 1e-10 }
+    }
+}
+
+/// Solution of the perturbation quadratic program.
+#[derive(Debug, Clone)]
+pub struct QpSolution {
+    /// The optimal perturbation vector (stacked per-element rows).
+    pub x: Vec<f64>,
+    /// Lagrange multipliers of the constraints.
+    pub multipliers: Vec<f64>,
+    /// Number of dual sweeps performed.
+    pub iterations: usize,
+    /// Objective value `xᵀHx` at the solution.
+    pub objective: f64,
+}
+
+/// Solves the block-diagonal Gramian-weighted QP.
+///
+/// `blocks` holds one symmetric positive-definite matrix per element (all of
+/// identical size); `f` and `g` define the inequality constraints
+/// `F·x ≤ g`.
+///
+/// # Errors
+///
+/// Returns [`PassivityError::InvalidInput`] on dimension mismatches and
+/// [`PassivityError::Linalg`] when a Gramian block is singular even after
+/// regularization.
+pub fn solve_block_qp(
+    blocks: &[Mat],
+    f: &Mat,
+    g: &[f64],
+    options: &QpOptions,
+) -> Result<QpSolution> {
+    if blocks.is_empty() {
+        return Err(PassivityError::InvalidInput("at least one Gramian block is required".into()));
+    }
+    let n_block = blocks[0].rows();
+    if blocks.iter().any(|b| !b.is_square() || b.rows() != n_block) {
+        return Err(PassivityError::InvalidInput(
+            "all Gramian blocks must be square and of identical size".into(),
+        ));
+    }
+    let n = blocks.len() * n_block;
+    if f.cols() != n {
+        return Err(PassivityError::InvalidInput(format!(
+            "constraint matrix has {} columns, expected {}",
+            f.cols(),
+            n
+        )));
+    }
+    if f.rows() != g.len() {
+        return Err(PassivityError::InvalidInput(format!(
+            "constraint matrix has {} rows but g has {} entries",
+            f.rows(),
+            g.len()
+        )));
+    }
+    let m = g.len();
+    if m == 0 {
+        return Ok(QpSolution { x: vec![0.0; n], multipliers: vec![], iterations: 0, objective: 0.0 });
+    }
+
+    // Factor each regularized block once; the Hessian of the primal is
+    // H = 2·blkdiag(G_e), so H⁻¹ applications reduce to per-block solves.
+    let mut factors = Vec::with_capacity(blocks.len());
+    for b in blocks {
+        let scale = b.trace().abs().max(1e-300) / n_block as f64;
+        let reg = &Mat::identity(n_block).scaled(options.regularization * scale);
+        let factor = Lu::new(&(b + reg))?;
+        factors.push(factor);
+    }
+
+    // hinv_ft[:, r] = H^{-1} F^T e_r  (column per constraint), with H = 2G.
+    let mut hinv_ft = Mat::zeros(n, m);
+    for r in 0..m {
+        for (e, factor) in factors.iter().enumerate() {
+            let seg: Vec<f64> = (0..n_block).map(|k| f[(r, e * n_block + k)]).collect();
+            let sol = factor.solve_vec(&seg)?;
+            for k in 0..n_block {
+                hinv_ft[(e * n_block + k, r)] = 0.5 * sol[k];
+            }
+        }
+    }
+    // Dual Hessian P = F H^{-1} F^T.
+    let p = f.matmul(&hinv_ft)?;
+
+    // Hildreth coordinate ascent on  max_{λ≥0} −½λᵀPλ − λᵀ(−g)  (with zero
+    // primal linear term the dual linear coefficient is −g).
+    let mut lambda = vec![0.0_f64; m];
+    let mut iterations = 0;
+    for sweep in 0..options.max_iterations {
+        iterations = sweep + 1;
+        let mut max_change = 0.0_f64;
+        for i in 0..m {
+            let pii = p[(i, i)];
+            if pii <= 0.0 {
+                continue;
+            }
+            // Stationarity of the dual in coordinate i: λ_i = −(g_i + Σ_{j≠i} P_ij λ_j)/P_ii.
+            let mut acc = g[i];
+            for j in 0..m {
+                if j != i {
+                    acc += p[(i, j)] * lambda[j];
+                }
+            }
+            let new_l = (-acc / pii).max(0.0);
+            max_change = max_change.max((new_l - lambda[i]).abs() * pii.sqrt());
+            lambda[i] = new_l;
+        }
+        if max_change <= options.tolerance {
+            break;
+        }
+    }
+
+    // Primal recovery: x = −H⁻¹ Fᵀ λ.
+    let mut x = vec![0.0_f64; n];
+    for r in 0..m {
+        if lambda[r] == 0.0 {
+            continue;
+        }
+        for k in 0..n {
+            x[k] -= hinv_ft[(k, r)] * lambda[r];
+        }
+    }
+    // Objective xᵀ (blkdiag G) x.
+    let mut objective = 0.0;
+    for (e, b) in blocks.iter().enumerate() {
+        let seg = &x[e * n_block..(e + 1) * n_block];
+        let bs = b.matvec(seg)?;
+        objective += seg.iter().zip(&bs).map(|(a, c)| a * c).sum::<f64>();
+    }
+    Ok(QpSolution { x, multipliers: lambda, iterations, objective })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unconstrained_problem_returns_zero() {
+        let blocks = vec![Mat::identity(2)];
+        let f = Mat::zeros(0, 2);
+        let sol = solve_block_qp(&blocks, &f, &[], &QpOptions::default()).unwrap();
+        assert_eq!(sol.x, vec![0.0, 0.0]);
+        assert_eq!(sol.objective, 0.0);
+    }
+
+    #[test]
+    fn single_constraint_identity_hessian_matches_analytic_solution() {
+        // min ||x||^2  s.t.  a·x <= -1  with a = [1, 1]: solution is the
+        // projection x = -a/||a||^2 = [-0.5, -0.5].
+        let blocks = vec![Mat::identity(1), Mat::identity(1)];
+        let f = Mat::from_rows(&[&[1.0, 1.0]]);
+        let sol = solve_block_qp(&blocks, &f, &[-1.0], &QpOptions::default()).unwrap();
+        assert!((sol.x[0] + 0.5).abs() < 1e-8);
+        assert!((sol.x[1] + 0.5).abs() < 1e-8);
+        assert!((sol.objective - 0.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn weighted_hessian_biases_solution_toward_cheap_directions() {
+        // min x^T diag(10, 0.1) x  s.t.  x1 + x2 <= -1: most of the movement
+        // must happen along the cheap coordinate x2.
+        let blocks = vec![Mat::from_diag(&[10.0]), Mat::from_diag(&[0.1])];
+        let f = Mat::from_rows(&[&[1.0, 1.0]]);
+        let sol = solve_block_qp(&blocks, &f, &[-1.0], &QpOptions::default()).unwrap();
+        assert!((sol.x[0] + sol.x[1] + 1.0).abs() < 1e-6, "constraint must be active");
+        assert!(sol.x[1].abs() > 50.0 * sol.x[0].abs());
+    }
+
+    #[test]
+    fn inactive_constraints_do_not_move_the_solution() {
+        let blocks = vec![Mat::identity(2)];
+        let f = Mat::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        // Both constraints are satisfied at x = 0 (g >= 0): optimum stays 0.
+        let sol = solve_block_qp(&blocks, &f, &[1.0, 2.0], &QpOptions::default()).unwrap();
+        assert!(sol.x.iter().all(|v| v.abs() < 1e-12));
+        assert!(sol.multipliers.iter().all(|&l| l == 0.0));
+    }
+
+    #[test]
+    fn multiple_active_constraints_are_satisfied() {
+        let blocks = vec![Mat::identity(3)];
+        let f = Mat::from_rows(&[&[1.0, 1.0, 0.0], &[0.0, 1.0, 1.0], &[1.0, 0.0, 1.0]]);
+        let g = vec![-1.0, -0.5, -2.0];
+        let sol = solve_block_qp(&blocks, &f, &g, &QpOptions::default()).unwrap();
+        let fx = f.matvec(&sol.x).unwrap();
+        for (lhs, rhs) in fx.iter().zip(&g) {
+            assert!(*lhs <= rhs + 1e-6, "constraint violated: {lhs} > {rhs}");
+        }
+    }
+
+    #[test]
+    fn input_validation() {
+        let blocks = vec![Mat::identity(2)];
+        assert!(solve_block_qp(&[], &Mat::zeros(1, 2), &[0.0], &QpOptions::default()).is_err());
+        assert!(solve_block_qp(&blocks, &Mat::zeros(1, 3), &[0.0], &QpOptions::default()).is_err());
+        assert!(solve_block_qp(&blocks, &Mat::zeros(2, 2), &[0.0], &QpOptions::default()).is_err());
+        let bad = vec![Mat::identity(2), Mat::identity(3)];
+        assert!(solve_block_qp(&bad, &Mat::zeros(1, 5), &[0.0], &QpOptions::default()).is_err());
+    }
+}

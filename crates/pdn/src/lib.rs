@@ -1,0 +1,79 @@
+//! # pim-pdn
+//!
+//! Power Distribution Network (PDN) termination modelling, loaded target
+//! impedance computation and first-order sensitivity analysis for the
+//! DATE 2014 sensitivity-weighted passivity enforcement reproduction.
+//!
+//! The crate covers the "problem statement" half of the paper (Sec. II):
+//!
+//! * [`terminations`] — the nominal termination network: decoupling
+//!   capacitors with ESR/ESL, VRM, series-RC die blocks, open and short
+//!   ports, assembled into the load admittance `Y_L(jω)` of the generalized
+//!   Norton equivalent (eq. 1);
+//! * [`impedance`] — the loaded PDN impedance matrix of eq. (2) and the
+//!   scalar target impedance `Z_PDN` observed at a die port;
+//! * [`sensitivity`] — the first-order sensitivity `Ξ_k` of the target
+//!   impedance to perturbations of the scattering samples (eq. 5), computed
+//!   both in closed form and by Monte Carlo perturbation, plus the weight
+//!   post-processing used to feed it into Vector Fitting (eq. 6) and into the
+//!   weighted passivity enforcement.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod impedance;
+pub mod sensitivity;
+pub mod terminations;
+
+pub use impedance::{loaded_impedance_matrix, target_impedance, TargetImpedance};
+pub use sensitivity::{analytic_sensitivity, monte_carlo_sensitivity, SensitivityOptions};
+pub use terminations::{Termination, TerminationNetwork};
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the PDN analysis tooling.
+#[derive(Debug)]
+pub enum PdnError {
+    /// The underlying linear algebra kernel failed.
+    Linalg(pim_linalg::LinalgError),
+    /// Frequency-data handling failed.
+    RfData(pim_rfdata::RfDataError),
+    /// The termination scheme or the analysis request is invalid.
+    InvalidInput(String),
+}
+
+impl fmt::Display for PdnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PdnError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+            PdnError::RfData(e) => write!(f, "data handling failure: {e}"),
+            PdnError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+        }
+    }
+}
+
+impl Error for PdnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PdnError::Linalg(e) => Some(e),
+            PdnError::RfData(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<pim_linalg::LinalgError> for PdnError {
+    fn from(e: pim_linalg::LinalgError) -> Self {
+        PdnError::Linalg(e)
+    }
+}
+
+impl From<pim_rfdata::RfDataError> for PdnError {
+    fn from(e: pim_rfdata::RfDataError) -> Self {
+        PdnError::RfData(e)
+    }
+}
+
+/// Result alias used by every fallible routine in this crate.
+pub type Result<T> = std::result::Result<T, PdnError>;

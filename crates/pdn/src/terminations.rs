@@ -1,0 +1,315 @@
+//! Nominal termination networks for PDN ports.
+//!
+//! The paper's test case (Sec. IV) terminates the PDN ports with a mix of
+//! decoupling capacitors (with their parasitic ESR and ESL), a short-circuit
+//! VRM connection, series-RC models for the active die blocks, and open
+//! ports; the die ports additionally carry identical current sources summing
+//! to 1 A. This module builds the per-port admittances, the full load
+//! admittance matrix `Y_L(jω)` of the generalized Norton equivalent (eq. 1)
+//! and the excitation vector `J`.
+
+use crate::{PdnError, Result};
+use pim_linalg::{CMat, Complex64};
+
+/// A single-port termination element.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Termination {
+    /// No connection: zero admittance.
+    Open,
+    /// Ideal short to the reference node (infinite admittance). Represented
+    /// internally by a very large conductance so the Norton formulation stays
+    /// finite; use [`Termination::Resistor`] with a small value for a more
+    /// physical VRM model.
+    Short,
+    /// A resistor to ground, in ohms.
+    Resistor {
+        /// Resistance in ohms (must be positive).
+        ohms: f64,
+    },
+    /// A series R–L branch to ground (typical VRM output model).
+    SeriesRl {
+        /// Series resistance in ohms.
+        resistance: f64,
+        /// Series inductance in henry.
+        inductance: f64,
+    },
+    /// A decoupling capacitor with its parasitic equivalent series resistance
+    /// and inductance (ESR, ESL).
+    Decap {
+        /// Capacitance in farad.
+        capacitance: f64,
+        /// Equivalent series resistance in ohms.
+        esr: f64,
+        /// Equivalent series inductance in henry.
+        esl: f64,
+    },
+    /// A series R–C branch to ground, the paper's model for an active die
+    /// power-supply block.
+    DieBlock {
+        /// Series resistance in ohms.
+        resistance: f64,
+        /// Capacitance in farad.
+        capacitance: f64,
+    },
+}
+
+/// Conductance used to represent an ideal short in the admittance domain.
+const SHORT_CONDUCTANCE: f64 = 1e9;
+
+impl Termination {
+    /// Admittance of the termination at angular frequency `ω` (rad/s).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdnError::InvalidInput`] for non-physical element values
+    /// (non-positive resistance of a resistor, negative parasitics, ...).
+    pub fn admittance(&self, omega: f64) -> Result<Complex64> {
+        let jw = Complex64::from_imag(omega);
+        match *self {
+            Termination::Open => Ok(Complex64::ZERO),
+            Termination::Short => Ok(Complex64::from_real(SHORT_CONDUCTANCE)),
+            Termination::Resistor { ohms } => {
+                if !(ohms > 0.0) {
+                    return Err(PdnError::InvalidInput(format!(
+                        "resistor termination must have positive resistance, got {ohms}"
+                    )));
+                }
+                Ok(Complex64::from_real(1.0 / ohms))
+            }
+            Termination::SeriesRl { resistance, inductance } => {
+                if resistance < 0.0 || inductance < 0.0 || (resistance == 0.0 && inductance == 0.0)
+                {
+                    return Err(PdnError::InvalidInput(
+                        "series RL termination requires non-negative R and L, not both zero".into(),
+                    ));
+                }
+                let z = Complex64::from_real(resistance) + jw * inductance;
+                Ok(z.recip())
+            }
+            Termination::Decap { capacitance, esr, esl } => {
+                if !(capacitance > 0.0) || esr < 0.0 || esl < 0.0 {
+                    return Err(PdnError::InvalidInput(
+                        "decap termination requires positive C and non-negative ESR/ESL".into(),
+                    ));
+                }
+                if omega == 0.0 {
+                    // A series capacitor blocks DC entirely.
+                    return Ok(Complex64::ZERO);
+                }
+                let z = Complex64::from_real(esr) + jw * esl + (jw * capacitance).recip();
+                Ok(z.recip())
+            }
+            Termination::DieBlock { resistance, capacitance } => {
+                if !(capacitance > 0.0) || resistance < 0.0 {
+                    return Err(PdnError::InvalidInput(
+                        "die block termination requires positive C and non-negative R".into(),
+                    ));
+                }
+                if omega == 0.0 {
+                    return Ok(Complex64::ZERO);
+                }
+                let z = Complex64::from_real(resistance) + (jw * capacitance).recip();
+                Ok(z.recip())
+            }
+        }
+    }
+}
+
+/// The full nominal termination scheme of a `P`-port PDN: one termination per
+/// port plus the set of excited (die) ports.
+///
+/// ```
+/// use pim_pdn::{Termination, TerminationNetwork};
+///
+/// # fn main() -> Result<(), pim_pdn::PdnError> {
+/// let net = TerminationNetwork::new(vec![
+///     Termination::DieBlock { resistance: 0.1, capacitance: 1e-9 },
+///     Termination::Decap { capacitance: 1e-6, esr: 5e-3, esl: 5e-10 },
+///     Termination::SeriesRl { resistance: 1e-3, inductance: 1e-9 },
+/// ])?
+/// .with_excitation(vec![0], 1.0)?;
+/// let y = net.load_admittance(2.0 * std::f64::consts::PI * 1e6)?;
+/// assert_eq!(y.rows(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TerminationNetwork {
+    terminations: Vec<Termination>,
+    excited_ports: Vec<usize>,
+    total_current: f64,
+}
+
+impl TerminationNetwork {
+    /// Builds a termination network from one termination per port. No port is
+    /// excited until [`TerminationNetwork::with_excitation`] is called.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdnError::InvalidInput`] for an empty list.
+    pub fn new(terminations: Vec<Termination>) -> Result<Self> {
+        if terminations.is_empty() {
+            return Err(PdnError::InvalidInput("at least one termination is required".into()));
+        }
+        Ok(TerminationNetwork { terminations, excited_ports: Vec::new(), total_current: 0.0 })
+    }
+
+    /// Declares the excited (die) ports: a total switching current
+    /// `total_current` is split equally among them (the paper uses 1 A over
+    /// the `P_a` active-device ports).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdnError::InvalidInput`] for out-of-range ports, duplicates
+    /// or a non-positive current.
+    pub fn with_excitation(mut self, ports: Vec<usize>, total_current: f64) -> Result<Self> {
+        if ports.is_empty() || !(total_current > 0.0) {
+            return Err(PdnError::InvalidInput(
+                "excitation requires at least one port and a positive total current".into(),
+            ));
+        }
+        let p = self.terminations.len();
+        let mut seen = vec![false; p];
+        for &port in &ports {
+            if port >= p {
+                return Err(PdnError::InvalidInput(format!(
+                    "excited port {port} out of range for a {p}-port network"
+                )));
+            }
+            if seen[port] {
+                return Err(PdnError::InvalidInput(format!("port {port} excited twice")));
+            }
+            seen[port] = true;
+        }
+        self.excited_ports = ports;
+        self.total_current = total_current;
+        Ok(self)
+    }
+
+    /// Number of ports.
+    pub fn ports(&self) -> usize {
+        self.terminations.len()
+    }
+
+    /// The per-port terminations.
+    pub fn terminations(&self) -> &[Termination] {
+        &self.terminations
+    }
+
+    /// The excited ports (empty when no excitation has been declared).
+    pub fn excited_ports(&self) -> &[usize] {
+        &self.excited_ports
+    }
+
+    /// The diagonal load admittance matrix `Y_L(jω)` of eq. (1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates invalid termination parameters.
+    pub fn load_admittance(&self, omega: f64) -> Result<CMat> {
+        let p = self.ports();
+        let mut y = CMat::zeros(p, p);
+        for (k, t) in self.terminations.iter().enumerate() {
+            y[(k, k)] = t.admittance(omega)?;
+        }
+        Ok(y)
+    }
+
+    /// The Norton excitation vector `J`: `total_current / n_excited` at every
+    /// excited port, zero elsewhere.
+    pub fn excitation_vector(&self) -> Vec<Complex64> {
+        let p = self.ports();
+        let mut j = vec![Complex64::ZERO; p];
+        if self.excited_ports.is_empty() {
+            return j;
+        }
+        let per_port = self.total_current / self.excited_ports.len() as f64;
+        for &port in &self.excited_ports {
+            j[port] = Complex64::from_real(per_port);
+        }
+        j
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TWO_PI: f64 = 2.0 * std::f64::consts::PI;
+
+    #[test]
+    fn element_admittances_have_expected_limits() {
+        // Open: zero at every frequency.
+        assert_eq!(Termination::Open.admittance(1e6).unwrap(), Complex64::ZERO);
+        // Short: huge conductance.
+        assert!(Termination::Short.admittance(0.0).unwrap().re > 1e8);
+        // Resistor.
+        let y = Termination::Resistor { ohms: 50.0 }.admittance(123.0).unwrap();
+        assert!((y.re - 0.02).abs() < 1e-15 && y.im == 0.0);
+        // Decap blocks DC and looks inductive far above resonance.
+        let decap = Termination::Decap { capacitance: 1e-6, esr: 10e-3, esl: 1e-9 };
+        assert_eq!(decap.admittance(0.0).unwrap(), Complex64::ZERO);
+        let f_res = 1.0 / (TWO_PI * (1e-6_f64 * 1e-9).sqrt());
+        let y_res = decap.admittance(TWO_PI * f_res).unwrap();
+        // At series resonance the impedance is just the ESR.
+        assert!((y_res.recip().re - 10e-3).abs() < 1e-6);
+        let y_hi = decap.admittance(TWO_PI * 1e9).unwrap();
+        assert!(y_hi.recip().im > 0.0, "inductive above resonance");
+        // Die block: capacitive, blocks DC.
+        let die = Termination::DieBlock { resistance: 0.1, capacitance: 10e-9 };
+        assert_eq!(die.admittance(0.0).unwrap(), Complex64::ZERO);
+        assert!(die.admittance(TWO_PI * 1e3).unwrap().recip().im < 0.0);
+        // VRM series RL: resistive at DC, inductive at high frequency.
+        let vrm = Termination::SeriesRl { resistance: 1e-3, inductance: 10e-9 };
+        assert!((vrm.admittance(0.0).unwrap().re - 1000.0).abs() < 1e-9);
+        assert!(vrm.admittance(TWO_PI * 1e9).unwrap().recip().im > 0.0);
+    }
+
+    #[test]
+    fn invalid_elements_are_rejected() {
+        assert!(Termination::Resistor { ohms: 0.0 }.admittance(1.0).is_err());
+        assert!(Termination::Resistor { ohms: -5.0 }.admittance(1.0).is_err());
+        assert!(Termination::Decap { capacitance: 0.0, esr: 0.0, esl: 0.0 }.admittance(1.0).is_err());
+        assert!(Termination::Decap { capacitance: 1e-6, esr: -1.0, esl: 0.0 }
+            .admittance(1.0)
+            .is_err());
+        assert!(Termination::DieBlock { resistance: -0.1, capacitance: 1e-9 }
+            .admittance(1.0)
+            .is_err());
+        assert!(Termination::SeriesRl { resistance: 0.0, inductance: 0.0 }.admittance(1.0).is_err());
+    }
+
+    #[test]
+    fn network_assembly_and_excitation() {
+        let net = TerminationNetwork::new(vec![
+            Termination::DieBlock { resistance: 0.1, capacitance: 1e-9 },
+            Termination::DieBlock { resistance: 0.1, capacitance: 1e-9 },
+            Termination::Decap { capacitance: 1e-6, esr: 5e-3, esl: 5e-10 },
+            Termination::Open,
+        ])
+        .unwrap()
+        .with_excitation(vec![0, 1], 1.0)
+        .unwrap();
+        assert_eq!(net.ports(), 4);
+        assert_eq!(net.excited_ports(), &[0, 1]);
+        let y = net.load_admittance(TWO_PI * 1e6).unwrap();
+        assert_eq!(y.shape(), (4, 4));
+        assert_eq!(y[(3, 3)], Complex64::ZERO);
+        assert_eq!(y[(0, 1)], Complex64::ZERO);
+        let j = net.excitation_vector();
+        assert!((j[0].re - 0.5).abs() < 1e-15 && (j[1].re - 0.5).abs() < 1e-15);
+        assert_eq!(j[2], Complex64::ZERO);
+    }
+
+    #[test]
+    fn excitation_validation() {
+        let base = TerminationNetwork::new(vec![Termination::Open, Termination::Open]).unwrap();
+        assert!(base.clone().with_excitation(vec![], 1.0).is_err());
+        assert!(base.clone().with_excitation(vec![5], 1.0).is_err());
+        assert!(base.clone().with_excitation(vec![0, 0], 1.0).is_err());
+        assert!(base.clone().with_excitation(vec![0], 0.0).is_err());
+        assert!(TerminationNetwork::new(vec![]).is_err());
+        // Without excitation the vector is all zero.
+        assert!(base.excitation_vector().iter().all(|z| *z == Complex64::ZERO));
+    }
+}

@@ -1,0 +1,52 @@
+//! Property-based tests for the network-parameter conversions.
+
+use pim_linalg::{CMat, Complex64};
+use pim_rfdata::network::{s_to_y, s_to_z, y_to_s, z_to_s};
+use proptest::prelude::*;
+
+/// Strategy: a random strictly passive impedance matrix Z = R + jX with
+/// R diagonally dominant (positive definite real part).
+fn passive_impedance(n: usize) -> impl Strategy<Value = CMat> {
+    prop::collection::vec(-1.0f64..1.0, 2 * n * n).prop_map(move |v| {
+        CMat::from_fn(n, n, |i, j| {
+            let re = 5.0 * v[i * n + j];
+            let im = 20.0 * v[n * n + i * n + j];
+            let mut z = Complex64::new(re, im);
+            if i == j {
+                z += Complex64::from_real(30.0 + n as f64 * 5.0);
+            }
+            z
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn z_to_s_round_trip(z in passive_impedance(3)) {
+        let s = z_to_s(&z, 50.0).unwrap();
+        let back = s_to_z(&s, 50.0).unwrap();
+        prop_assert!(back.max_abs_diff(&z) < 1e-7 * z.max_abs().max(1.0));
+    }
+
+    #[test]
+    fn y_is_inverse_of_z(z in passive_impedance(2)) {
+        let s = z_to_s(&z, 50.0).unwrap();
+        let y = s_to_y(&s, 50.0).unwrap();
+        let prod = y.matmul(&z).unwrap();
+        prop_assert!(prod.max_abs_diff(&CMat::identity(2)) < 1e-8);
+        let s_back = y_to_s(&y, 50.0).unwrap();
+        prop_assert!(s_back.max_abs_diff(&s) < 1e-9);
+    }
+
+    #[test]
+    fn renormalization_preserves_impedance(z in passive_impedance(2), r in 10.0f64..200.0) {
+        let s1 = z_to_s(&z, 50.0).unwrap();
+        let s2 = z_to_s(&z, r).unwrap();
+        // Both normalizations must describe the same impedance matrix.
+        let z1 = s_to_z(&s1, 50.0).unwrap();
+        let z2 = s_to_z(&s2, r).unwrap();
+        prop_assert!(z1.max_abs_diff(&z2) < 1e-7 * z.max_abs().max(1.0));
+    }
+}

@@ -1,0 +1,589 @@
+//! Vector Fitting of tabulated multiport frequency responses.
+//!
+//! This is the classic pole-relocation algorithm of Gustavsen & Semlyen
+//! (reference [8] of the paper) in its "fast" per-element QR-compressed form,
+//! extended with the per-frequency weighting of eq. (6) that the paper uses to
+//! embed the PDN sensitivity into the fitting metric.
+
+use crate::poles::{flip_unstable, initial_poles, pole_blocks, symmetrize_spectrum, PoleBlock};
+use crate::{Result, VectFitError};
+use pim_linalg::eig::eigenvalues;
+use pim_linalg::qr::{lstsq_scaled, QrFactor};
+use pim_linalg::{CMat, Complex64, Mat};
+use pim_rfdata::NetworkData;
+use pim_statespace::PoleResidueModel;
+
+/// Configuration of a Vector Fitting run.
+#[derive(Debug, Clone)]
+pub struct VfConfig {
+    /// Model order (number of poles, counting both members of complex pairs).
+    pub n_poles: usize,
+    /// Number of pole-relocation iterations.
+    pub n_iterations: usize,
+    /// Reflect unstable relocated poles into the left half plane.
+    pub enforce_stable_poles: bool,
+    /// Include the constant (asymptotic) term `D` in the model.
+    pub fit_constant: bool,
+    /// Symmetrize the residue and constant matrices (reciprocal networks).
+    pub enforce_symmetry: bool,
+    /// Optional user-supplied starting poles (conjugate pairs adjacent);
+    /// when `None` the standard log-spaced heuristic is used.
+    pub initial_poles: Option<Vec<Complex64>>,
+}
+
+impl Default for VfConfig {
+    fn default() -> Self {
+        VfConfig {
+            n_poles: 12,
+            n_iterations: 5,
+            enforce_stable_poles: true,
+            fit_constant: true,
+            enforce_symmetry: true,
+            initial_poles: None,
+        }
+    }
+}
+
+/// Outcome of a Vector Fitting run.
+#[derive(Debug, Clone)]
+pub struct VfResult {
+    /// The identified pole–residue macromodel.
+    pub model: PoleResidueModel,
+    /// Unweighted RMS fitting error over all entries and frequencies.
+    pub rms_error: f64,
+    /// Weighted RMS fitting error (equals `rms_error` for unit weights).
+    pub weighted_rms_error: f64,
+    /// Pole sets after each relocation iteration (diagnostic).
+    pub pole_history: Vec<Vec<Complex64>>,
+}
+
+/// Fits a common-pole rational macromodel to tabulated frequency responses.
+///
+/// `weights`, when provided, must hold one non-negative value per frequency
+/// sample; the least-squares metric becomes the weighted error of eq. (6).
+///
+/// # Errors
+///
+/// Returns [`VectFitError::InvalidInput`] for malformed configuration or
+/// weights and propagates numerical failures of the underlying solvers.
+///
+/// ```
+/// use pim_linalg::{CMat, Complex64};
+/// use pim_rfdata::{FrequencyGrid, NetworkData, ParameterKind};
+/// use pim_vectfit::{vector_fit, VfConfig};
+///
+/// # fn main() -> Result<(), pim_vectfit::VectFitError> {
+/// // Samples of H(s) = 1/(s+100) on a small grid.
+/// let grid = FrequencyGrid::log_space(1.0, 1e4, 40)?;
+/// let mats: Vec<CMat> = grid
+///     .omegas()
+///     .iter()
+///     .map(|&w| CMat::from_diag(&[(Complex64::new(100.0, w)).recip()]))
+///     .collect();
+/// let data = NetworkData::new(grid, mats, ParameterKind::Scattering, 50.0)?;
+/// let cfg = VfConfig { n_poles: 3, n_iterations: 4, ..VfConfig::default() };
+/// let fit = vector_fit(&data, None, &cfg)?;
+/// assert!(fit.rms_error < 1e-8);
+/// # Ok(())
+/// # }
+/// ```
+pub fn vector_fit(
+    data: &NetworkData,
+    weights: Option<&[f64]>,
+    config: &VfConfig,
+) -> Result<VfResult> {
+    let k_samples = data.len();
+    let ports = data.ports();
+    if config.n_poles == 0 {
+        return Err(VectFitError::InvalidInput("n_poles must be positive".into()));
+    }
+    if 2 * k_samples < 2 * config.n_poles + 2 {
+        return Err(VectFitError::InvalidInput(format!(
+            "{} frequency samples are not enough to identify {} poles",
+            k_samples, config.n_poles
+        )));
+    }
+    let w: Vec<f64> = match weights {
+        Some(w) => {
+            if w.len() != k_samples {
+                return Err(VectFitError::InvalidInput(format!(
+                    "expected {} weights, got {}",
+                    k_samples,
+                    w.len()
+                )));
+            }
+            if w.iter().any(|&x| !(x >= 0.0) || !x.is_finite()) {
+                return Err(VectFitError::InvalidInput(
+                    "weights must be finite and non-negative".into(),
+                ));
+            }
+            w.to_vec()
+        }
+        None => vec![1.0; k_samples],
+    };
+
+    let omegas = data.grid().omegas();
+    let initial = match &config.initial_poles {
+        Some(p) => {
+            if p.len() != config.n_poles {
+                return Err(VectFitError::InvalidInput(format!(
+                    "initial_poles has {} entries but n_poles is {}",
+                    p.len(),
+                    config.n_poles
+                )));
+            }
+            // Validate pairing up front.
+            pole_blocks(p)?;
+            p.clone()
+        }
+        None => {
+            let w_min = omegas.iter().copied().find(|&x| x > 0.0).unwrap_or(1.0);
+            let w_max = omegas.last().copied().unwrap_or(1.0).max(w_min * 10.0);
+            initial_poles(w_min, w_max, config.n_poles)?
+        }
+    };
+
+    // Normalize the frequency axis so every regression column is O(1); the
+    // huge dynamic range of PDN grids (kHz to GHz) would otherwise make the
+    // least-squares systems badly scaled.
+    let omega_scale = omegas.iter().copied().fold(0.0_f64, f64::max).max(f64::MIN_POSITIVE);
+    let omegas_n: Vec<f64> = omegas.iter().map(|w| w / omega_scale).collect();
+    let mut poles: Vec<Complex64> = initial.iter().map(|p| p.scale(1.0 / omega_scale)).collect();
+
+    let mut pole_history = Vec::with_capacity(config.n_iterations);
+    for _iter in 0..config.n_iterations {
+        poles = relocate_poles(data, &omegas_n, &w, &poles, config)?;
+        if config.enforce_stable_poles {
+            flip_unstable(&mut poles);
+        }
+        pole_history.push(poles.iter().map(|p| p.scale(omega_scale)).collect());
+    }
+
+    let model_n = identify_residues(data, &omegas_n, &w, &poles, config)?;
+    // Undo the frequency normalization: s = ω_scale·s' maps poles and
+    // residues by the same factor and leaves the constant term untouched.
+    let model = PoleResidueModel::new(
+        model_n.poles().iter().map(|p| p.scale(omega_scale)).collect(),
+        model_n.residues().iter().map(|r| r.scaled_real(omega_scale)).collect(),
+        model_n.d().clone(),
+    )?;
+
+    // Fitting errors.
+    let mut sum_sq = 0.0;
+    let mut sum_sq_w = 0.0;
+    for (k, &omega) in omegas.iter().enumerate() {
+        let h = model.evaluate_at_omega(omega)?;
+        let diff = (&h - data.matrix(k)).frobenius_norm();
+        sum_sq += diff * diff;
+        sum_sq_w += w[k] * w[k] * diff * diff;
+    }
+    let denom = (k_samples * ports * ports) as f64;
+    Ok(VfResult {
+        model,
+        rms_error: (sum_sq / denom).sqrt(),
+        weighted_rms_error: (sum_sq_w / denom).sqrt(),
+        pole_history,
+    })
+}
+
+/// Builds the real-coefficient partial-fraction basis at every frequency:
+/// column `n` holds the basis function of real coefficient `n`.
+fn build_basis(omegas: &[f64], poles: &[Complex64]) -> Result<CMat> {
+    let blocks = pole_blocks(poles)?;
+    let n = poles.len();
+    let mut phi = CMat::zeros(omegas.len(), n);
+    for (k, &omega) in omegas.iter().enumerate() {
+        let s = Complex64::from_imag(omega);
+        for blk in &blocks {
+            match *blk {
+                PoleBlock::Real(i) => {
+                    phi[(k, i)] = (s - poles[i]).recip();
+                }
+                PoleBlock::Pair(i) => {
+                    let a = (s - poles[i]).recip();
+                    let b = (s - poles[i + 1]).recip();
+                    phi[(k, i)] = a + b;
+                    phi[(k, i + 1)] = (a - b) * Complex64::I;
+                }
+            }
+        }
+    }
+    Ok(phi)
+}
+
+/// One pole-relocation step: identifies the residues of the scaling function
+/// `σ(s) = 1 + Σ c̃ₙ φₙ(s)` by compressed least squares over every matrix
+/// element, then returns the zeros of `σ` as the new pole set.
+fn relocate_poles(
+    data: &NetworkData,
+    omegas: &[f64],
+    weights: &[f64],
+    poles: &[Complex64],
+    config: &VfConfig,
+) -> Result<Vec<Complex64>> {
+    let k_samples = omegas.len();
+    let ports = data.ports();
+    let n = poles.len();
+    let nd = if config.fit_constant { 1 } else { 0 };
+    let n_local = n + nd;
+    let phi = build_basis(omegas, poles)?;
+
+    // Compressed normal-block accumulation: for every element, QR-factor the
+    // local problem and keep only the rows that couple to the shared sigma
+    // unknowns.
+    let mut stacked_rows: Vec<Vec<f64>> = Vec::new();
+    let mut stacked_rhs: Vec<f64> = Vec::new();
+    for i in 0..ports {
+        for j in 0..ports {
+            let h = data.element(i, j);
+            // Local real system: [phi, 1 | -h*phi] x = h
+            let cols = n_local + n;
+            let mut a = Mat::zeros(2 * k_samples, cols + 1);
+            for k in 0..k_samples {
+                let wk = weights[k];
+                for c in 0..n {
+                    let b = phi[(k, c)];
+                    a[(k, c)] = wk * b.re;
+                    a[(k_samples + k, c)] = wk * b.im;
+                    let hb = h[k] * b;
+                    a[(k, n_local + c)] = -wk * hb.re;
+                    a[(k_samples + k, n_local + c)] = -wk * hb.im;
+                }
+                if nd == 1 {
+                    a[(k, n)] = wk;
+                    a[(k_samples + k, n)] = 0.0;
+                }
+                a[(k, cols)] = wk * h[k].re;
+                a[(k_samples + k, cols)] = wk * h[k].im;
+            }
+            let qr = QrFactor::new(&a)?;
+            let r = qr.r();
+            // Rows n_local .. n_local+n of R couple only to the sigma unknowns
+            // (and the RHS column): collect them.
+            for row in n_local..(n_local + n) {
+                let mut coeffs = vec![0.0; n];
+                for c in 0..n {
+                    coeffs[c] = r[(row, n_local + c)];
+                }
+                stacked_rhs.push(r[(row, cols)]);
+                stacked_rows.push(coeffs);
+            }
+        }
+    }
+    let big = Mat::from_fn(stacked_rows.len(), n, |r, c| stacked_rows[r][c]);
+    // A lightly regularized, column-equilibrated solve: when the data can be
+    // fitted exactly with fewer poles than requested, the scaling-function
+    // problem is rank deficient and the regularization picks the small-norm
+    // solution (equivalent to leaving the surplus poles in place).
+    let sigma_res = lstsq_scaled(&big, &stacked_rhs, 1e-10)?;
+
+    // Zeros of sigma(s) = 1 + c̃ (sI - A)^(-1) b  are the eigenvalues of A - b·c̃.
+    let blocks = pole_blocks(poles)?;
+    let mut a_sigma = Mat::zeros(n, n);
+    let mut b_sigma = Mat::zeros(n, 1);
+    let mut c_sigma = Mat::zeros(1, n);
+    for blk in &blocks {
+        match *blk {
+            PoleBlock::Real(i) => {
+                a_sigma[(i, i)] = poles[i].re;
+                b_sigma[(i, 0)] = 1.0;
+                c_sigma[(0, i)] = sigma_res[i];
+            }
+            PoleBlock::Pair(i) => {
+                let sig = poles[i].re;
+                let om = poles[i].im;
+                a_sigma[(i, i)] = sig;
+                a_sigma[(i, i + 1)] = om;
+                a_sigma[(i + 1, i)] = -om;
+                a_sigma[(i + 1, i + 1)] = sig;
+                b_sigma[(i, 0)] = 1.0;
+                c_sigma[(0, i)] = 2.0 * sigma_res[i];
+                c_sigma[(0, i + 1)] = 2.0 * sigma_res[i + 1];
+            }
+        }
+    }
+    let closed = &a_sigma - &b_sigma.matmul(&c_sigma)?;
+    let evs = eigenvalues(&closed)?;
+    let mut new_poles = symmetrize_spectrum(&evs);
+    // Keep a deterministic ordering: ascending |Im|, then ascending Re.
+    sort_pole_pairs(&mut new_poles);
+    Ok(new_poles)
+}
+
+/// Sorts a conjugate-symmetric pole list (pairs adjacent, positive imaginary
+/// part first within a pair) by ascending imaginary magnitude.
+fn sort_pole_pairs(poles: &mut Vec<Complex64>) {
+    let blocks = pole_blocks(poles).unwrap_or_default();
+    let mut groups: Vec<Vec<Complex64>> = Vec::new();
+    for blk in blocks {
+        match blk {
+            PoleBlock::Real(i) => groups.push(vec![poles[i]]),
+            PoleBlock::Pair(i) => {
+                let p = if poles[i].im >= 0.0 { poles[i] } else { poles[i + 1] };
+                groups.push(vec![p, p.conj()]);
+            }
+        }
+    }
+    groups.sort_by(|a, b| {
+        let ka = (a[0].im.abs(), a[0].re);
+        let kb = (b[0].im.abs(), b[0].re);
+        ka.partial_cmp(&kb).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    *poles = groups.into_iter().flatten().collect();
+}
+
+/// Final residue identification with fixed poles.
+fn identify_residues(
+    data: &NetworkData,
+    omegas: &[f64],
+    weights: &[f64],
+    poles: &[Complex64],
+    config: &VfConfig,
+) -> Result<PoleResidueModel> {
+    let k_samples = omegas.len();
+    let ports = data.ports();
+    let n = poles.len();
+    let nd = if config.fit_constant { 1 } else { 0 };
+    let phi = build_basis(omegas, poles)?;
+    let blocks = pole_blocks(poles)?;
+
+    // Shared regression matrix (identical for every element).
+    let mut a = Mat::zeros(2 * k_samples, n + nd);
+    for k in 0..k_samples {
+        let wk = weights[k];
+        for c in 0..n {
+            let b = phi[(k, c)];
+            a[(k, c)] = wk * b.re;
+            a[(k_samples + k, c)] = wk * b.im;
+        }
+        if nd == 1 {
+            a[(k, n)] = wk;
+        }
+    }
+    let qr = QrFactor::new(&a)?;
+
+    let mut residues = vec![CMat::zeros(ports, ports); n];
+    let mut d = Mat::zeros(ports, ports);
+    for i in 0..ports {
+        for j in 0..ports {
+            let h = data.element(i, j);
+            let mut rhs = vec![0.0; 2 * k_samples];
+            for k in 0..k_samples {
+                rhs[k] = weights[k] * h[k].re;
+                rhs[k_samples + k] = weights[k] * h[k].im;
+            }
+            let x = qr.solve_least_squares(&rhs)?;
+            for blk in &blocks {
+                match *blk {
+                    PoleBlock::Real(m) => {
+                        residues[m][(i, j)] = Complex64::from_real(x[m]);
+                    }
+                    PoleBlock::Pair(m) => {
+                        let r = Complex64::new(x[m], x[m + 1]);
+                        residues[m][(i, j)] = r;
+                        residues[m + 1][(i, j)] = r.conj();
+                    }
+                }
+            }
+            if nd == 1 {
+                d[(i, j)] = x[n];
+            }
+        }
+    }
+
+    if config.enforce_symmetry {
+        for r in &mut residues {
+            let sym = CMat::from_fn(ports, ports, |i, j| (r[(i, j)] + r[(j, i)]).scale(0.5));
+            *r = sym;
+        }
+        d = Mat::from_fn(ports, ports, |i, j| 0.5 * (d[(i, j)] + d[(j, i)]));
+    }
+
+    Ok(PoleResidueModel::new(poles.to_vec(), residues, d)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_rfdata::{FrequencyGrid, ParameterKind};
+
+    fn c(re: f64, im: f64) -> Complex64 {
+        Complex64::new(re, im)
+    }
+
+    /// A known 2-port rational function sampled on a grid.
+    fn synthetic_data(grid: &FrequencyGrid) -> (PoleResidueModel, NetworkData) {
+        let p1 = c(-2e4, 0.0);
+        let p2 = c(-5e4, 3e5);
+        let r1 = CMat::from_fn(2, 2, |i, j| c(1e4 * (1.0 + (i + j) as f64), 0.0));
+        let r2 = CMat::from_fn(2, 2, |i, j| c(2e4 - 1e3 * (i + j) as f64, 5e3 * (1 + i + j) as f64));
+        let d = Mat::from_fn(2, 2, |i, j| if i == j { 0.3 } else { 0.05 });
+        let model = PoleResidueModel::new(
+            vec![p1, p2, p2.conj()],
+            vec![r1, r2.clone(), r2.conj()],
+            d,
+        )
+        .unwrap();
+        let data = model.sample(grid, ParameterKind::Scattering, 50.0).unwrap();
+        (model, data)
+    }
+
+    #[test]
+    fn recovers_known_rational_function_exactly() {
+        let grid = FrequencyGrid::log_space(1e2, 1e7, 80).unwrap().with_dc();
+        let (reference, data) = synthetic_data(&grid);
+        let cfg = VfConfig { n_poles: 3, n_iterations: 6, ..VfConfig::default() };
+        let fit = vector_fit(&data, None, &cfg).unwrap();
+        assert!(fit.rms_error < 1e-7, "rms error {}", fit.rms_error);
+        assert!(fit.model.is_stable());
+        assert_eq!(fit.model.order(), 3);
+        // Poles must match the reference (sorted by imaginary part).
+        let mut got: Vec<Complex64> = fit.model.poles().to_vec();
+        let mut want: Vec<Complex64> = reference.poles().to_vec();
+        let key = |p: &Complex64| (p.im, p.re);
+        got.sort_by(|a, b| key(a).partial_cmp(&key(b)).unwrap());
+        want.sort_by(|a, b| key(a).partial_cmp(&key(b)).unwrap());
+        for (g, w) in got.iter().zip(&want) {
+            assert!((*g - *w).abs() < 1e-3 * w.abs(), "pole mismatch: {g} vs {w}");
+        }
+        assert_eq!(fit.pole_history.len(), 6);
+    }
+
+    #[test]
+    fn fit_quality_improves_with_order_on_nonrational_data() {
+        // Data with a frequency-dependent loss term that is not exactly
+        // rational: higher order must fit at least as well.
+        let grid = FrequencyGrid::log_space(1e3, 1e8, 60).unwrap();
+        let mats: Vec<CMat> = grid
+            .omegas()
+            .iter()
+            .map(|&w| {
+                let s = Complex64::from_imag(w);
+                let base = (s + 1e4).recip() * 1e4 + (s + 1e6).recip() * 5e5;
+                let skin = Complex64::from_real(1.0 + (w / 1e8).sqrt() * 0.1);
+                CMat::from_diag(&[base * skin.recip()])
+            })
+            .collect();
+        let data =
+            NetworkData::new(grid, mats, ParameterKind::Scattering, 50.0).unwrap();
+        let cfg_lo = VfConfig { n_poles: 2, n_iterations: 5, ..VfConfig::default() };
+        let cfg_hi = VfConfig { n_poles: 6, n_iterations: 5, ..VfConfig::default() };
+        let e_lo = vector_fit(&data, None, &cfg_lo).unwrap().rms_error;
+        let e_hi = vector_fit(&data, None, &cfg_hi).unwrap().rms_error;
+        assert!(e_hi <= e_lo * 1.01, "order 6 ({e_hi}) should beat order 2 ({e_lo})");
+        assert!(e_hi < 1e-3);
+    }
+
+    #[test]
+    fn weighting_shifts_accuracy_toward_weighted_band() {
+        // A 1-port response with two resonances; weight the low band heavily
+        // and fit with an order too small to capture both: the low-frequency
+        // band must then be fitted better than with uniform weights.
+        let grid = FrequencyGrid::log_space(1e3, 1e9, 120).unwrap();
+        let mats: Vec<CMat> = grid
+            .omegas()
+            .iter()
+            .map(|&w| {
+                let s = Complex64::from_imag(w);
+                let h = (s + 1e4).recip() * 9e3
+                    + ((s + 5e3) * (s + 2e8)).recip() * 4e11
+                    + Complex64::from_real(0.05);
+                CMat::from_diag(&[h])
+            })
+            .collect();
+        let data = NetworkData::new(grid.clone(), mats, ParameterKind::Scattering, 50.0).unwrap();
+        let weights: Vec<f64> = grid
+            .freqs_hz()
+            .iter()
+            .map(|&f| if f < 1e6 { 100.0 } else { 1.0 })
+            .collect();
+        let cfg = VfConfig { n_poles: 2, n_iterations: 5, ..VfConfig::default() };
+        let unweighted = vector_fit(&data, None, &cfg).unwrap();
+        let weighted = vector_fit(&data, Some(&weights), &cfg).unwrap();
+        // Compare low-frequency accuracy.
+        let low_err = |m: &PoleResidueModel| -> f64 {
+            grid.freqs_hz()
+                .iter()
+                .zip(grid.omegas())
+                .filter(|(&f, _)| f < 1e6)
+                .map(|(_, w)| {
+                    (m.evaluate_at_omega(w).unwrap()[(0, 0)] - data.matrix(grid.nearest_index(w / (2.0 * std::f64::consts::PI)))[(0, 0)]).abs()
+                })
+                .fold(0.0_f64, f64::max)
+        };
+        let e_u = low_err(&unweighted.model);
+        let e_w = low_err(&weighted.model);
+        assert!(e_w < e_u, "weighted low-band error {e_w} must beat unweighted {e_u}");
+    }
+
+    #[test]
+    fn input_validation() {
+        let grid = FrequencyGrid::log_space(1e3, 1e6, 30).unwrap();
+        let (_, data) = synthetic_data(&grid);
+        let cfg = VfConfig { n_poles: 0, ..VfConfig::default() };
+        assert!(vector_fit(&data, None, &cfg).is_err());
+        let cfg = VfConfig { n_poles: 40, ..VfConfig::default() };
+        assert!(vector_fit(&data, None, &cfg).is_err());
+        let cfg = VfConfig::default();
+        assert!(vector_fit(&data, Some(&[1.0, 2.0]), &cfg).is_err());
+        let bad_w = vec![-1.0; data.len()];
+        assert!(vector_fit(&data, Some(&bad_w), &cfg).is_err());
+        let cfg = VfConfig {
+            initial_poles: Some(vec![c(-1.0, 0.0)]),
+            n_poles: 3,
+            ..VfConfig::default()
+        };
+        assert!(vector_fit(&data, None, &cfg).is_err());
+    }
+
+    #[test]
+    fn symmetry_enforcement_produces_symmetric_model() {
+        let grid = FrequencyGrid::log_space(1e2, 1e7, 50).unwrap();
+        let (_, mut data_vec) = synthetic_data(&grid);
+        // Slightly break the symmetry of the data.
+        data_vec = data_vec
+            .map_matrices(|_, m| {
+                let mut m2 = m.clone();
+                m2[(0, 1)] += Complex64::new(1e-3, 0.0);
+                Ok(m2)
+            })
+            .unwrap();
+        let cfg = VfConfig { n_poles: 3, n_iterations: 4, enforce_symmetry: true, ..VfConfig::default() };
+        let fit = vector_fit(&data_vec, None, &cfg).unwrap();
+        for r in fit.model.residues() {
+            assert!((r[(0, 1)] - r[(1, 0)]).abs() < 1e-12);
+        }
+        assert!((fit.model.d()[(0, 1)] - fit.model.d()[(1, 0)]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn custom_initial_poles_are_honoured() {
+        let grid = FrequencyGrid::log_space(1e2, 1e7, 60).unwrap();
+        let (_, data) = synthetic_data(&grid);
+        let init = vec![c(-1e3, 0.0), c(-1e5, 1e6), c(-1e5, -1e6)];
+        let cfg = VfConfig {
+            n_poles: 3,
+            n_iterations: 5,
+            initial_poles: Some(init),
+            ..VfConfig::default()
+        };
+        let fit = vector_fit(&data, None, &cfg).unwrap();
+        assert!(fit.rms_error < 1e-6);
+    }
+
+    #[test]
+    fn without_constant_term_model_is_strictly_proper() {
+        let grid = FrequencyGrid::log_space(1e2, 1e7, 60).unwrap();
+        // Strictly proper data (no feedthrough).
+        let mats: Vec<CMat> = grid
+            .omegas()
+            .iter()
+            .map(|&w| CMat::from_diag(&[(Complex64::new(1e4, w)).recip() * 2e4]))
+            .collect();
+        let data = NetworkData::new(grid, mats, ParameterKind::Scattering, 50.0).unwrap();
+        let cfg = VfConfig { n_poles: 2, n_iterations: 4, fit_constant: false, ..VfConfig::default() };
+        let fit = vector_fit(&data, None, &cfg).unwrap();
+        assert_eq!(fit.model.d().max_abs(), 0.0);
+        assert!(fit.rms_error < 1e-8);
+    }
+}

@@ -1,0 +1,12 @@
+//! Workspace root crate: re-exports the component crates so that the
+//! examples in `examples/` and the integration tests in `tests/` can use a
+//! single dependency. See the individual crates for the actual library API.
+
+pub use pim_circuit as circuit;
+pub use pim_core as core_flow;
+pub use pim_linalg as linalg;
+pub use pim_passivity as passivity;
+pub use pim_pdn as pdn;
+pub use pim_rfdata as rfdata;
+pub use pim_statespace as statespace;
+pub use pim_vectfit as vectfit;
