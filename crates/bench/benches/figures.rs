@@ -17,8 +17,8 @@ fn bench_figures(c: &mut Criterion) {
     let omegas = sc.data.grid().omegas();
     let (fo, fx): (Vec<f64>, Vec<f64>) =
         omegas.iter().zip(&xi).filter(|(&w, _)| w > 0.0).map(|(&w, &x)| (w, x)).unzip();
-    let xi_model =
-        fit_magnitude(&fo, &fx, &MagnitudeFitConfig { order: 6, ..Default::default() }).expect("xi model");
+    let xi_model = fit_magnitude(&fo, &fx, &MagnitudeFitConfig { order: 6, ..Default::default() })
+        .expect("xi model");
 
     c.bench_function("fig1_standard_vector_fit", |b| {
         b.iter(|| vector_fit(&sc.data, None, &vf_cfg).expect("fit"))
@@ -31,7 +31,8 @@ fn bench_figures(c: &mut Criterion) {
             let xi = analytic_sensitivity(&sc.data, &sc.network, sc.observation_port).expect("xi");
             let (fo, fx): (Vec<f64>, Vec<f64>) =
                 omegas.iter().zip(&xi).filter(|(&w, _)| w > 0.0).map(|(&w, &x)| (w, x)).unzip();
-            fit_magnitude(&fo, &fx, &MagnitudeFitConfig { order: 6, ..Default::default() }).expect("fit")
+            fit_magnitude(&fo, &fx, &MagnitudeFitConfig { order: 6, ..Default::default() })
+                .expect("fit")
         })
     });
     c.bench_function("fig4_passivity_assessment", |b| {
@@ -42,15 +43,35 @@ fn bench_figures(c: &mut Criterion) {
     slow.bench_function("fig5_weighted_enforcement", |b| {
         b.iter(|| {
             let norm = sensitivity_weighted_norm(&weighted.model, &xi_model).expect("norm");
-            let cfg = EnforcementConfig { sweep_points: 120, max_iterations: 60, sigma_margin: 1e-3, ..Default::default() };
-            enforce_passivity(&weighted.model, &norm, omegas.iter().copied().fold(0.0, f64::max), &cfg)
+            let cfg = EnforcementConfig {
+                sweep_points: 120,
+                max_iterations: 60,
+                sigma_margin: 1e-3,
+                ..Default::default()
+            };
+            enforce_passivity(
+                &weighted.model,
+                &norm,
+                omegas.iter().copied().fold(0.0, f64::max),
+                &cfg,
+            )
         })
     });
     slow.bench_function("ablation_standard_norm_enforcement", |b| {
         b.iter(|| {
             let norm = PerturbationNorm::standard(&weighted.model).expect("norm");
-            let cfg = EnforcementConfig { sweep_points: 120, max_iterations: 60, sigma_margin: 1e-3, ..Default::default() };
-            enforce_passivity(&weighted.model, &norm, omegas.iter().copied().fold(0.0, f64::max), &cfg)
+            let cfg = EnforcementConfig {
+                sweep_points: 120,
+                max_iterations: 60,
+                sigma_margin: 1e-3,
+                ..Default::default()
+            };
+            enforce_passivity(
+                &weighted.model,
+                &norm,
+                omegas.iter().copied().fold(0.0, f64::max),
+                &cfg,
+            )
         })
     });
     slow.finish();
@@ -65,7 +86,8 @@ fn bench_figures(c: &mut Criterion) {
     c.bench_function("ablation_sensitivity_order_4_vs_8", |b| {
         b.iter(|| {
             for order in [4usize, 8] {
-                fit_magnitude(&fo, &fx, &MagnitudeFitConfig { order, ..Default::default() }).expect("fit");
+                fit_magnitude(&fo, &fx, &MagnitudeFitConfig { order, ..Default::default() })
+                    .expect("fit");
             }
         })
     });

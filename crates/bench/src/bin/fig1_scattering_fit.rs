@@ -10,8 +10,10 @@ fn main() {
         .sample(scenario.data.grid(), ParameterKind::Scattering, scenario.data.z_ref())
         .expect("sampling");
     println!("# Figure 1: scattering representation, data vs standard model");
-    println!("{:>12} {:>10} {:>10} {:>10} {:>10} {:>9} {:>9}",
-        "freq_Hz", "S11_dat_dB", "S11_mod_dB", "S12_dat_dB", "S12_mod_dB", "ph11_dat", "ph11_mod");
+    println!(
+        "{:>12} {:>10} {:>10} {:>10} {:>10} {:>9} {:>9}",
+        "freq_Hz", "S11_dat_dB", "S11_mod_dB", "S12_dat_dB", "S12_mod_dB", "ph11_dat", "ph11_mod"
+    );
     let d11 = element_magnitude_db(&scenario.data, 0, 0);
     let m11 = element_magnitude_db(&model_data, 0, 0);
     let d12 = element_magnitude_db(&scenario.data, 0, 1);
@@ -19,7 +21,9 @@ fn main() {
     let p11d = element_phase_deg(&scenario.data, 0, 0);
     let p11m = element_phase_deg(&model_data, 0, 0);
     for (k, &f) in scenario.data.grid().freqs_hz().iter().enumerate() {
-        println!("{:>12.4e} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>9.2} {:>9.2}",
-            f, d11[k], m11[k], d12[k], m12[k], p11d[k], p11m[k]);
+        println!(
+            "{:>12.4e} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>9.2} {:>9.2}",
+            f, d11[k], m11[k], d12[k], m12[k], p11d[k], p11m[k]
+        );
     }
 }

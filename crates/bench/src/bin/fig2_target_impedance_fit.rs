@@ -2,15 +2,22 @@
 fn main() {
     let (_, report) = pim_bench::run_reduced_flow();
     println!("# Figure 2: target impedance after fitting");
-    println!("{:>12} {:>14} {:>14} {:>14}", "freq_Hz", "nominal_ohm", "standard_ohm", "weighted_ohm");
+    println!(
+        "{:>12} {:>14} {:>14} {:>14}",
+        "freq_Hz", "nominal_ohm", "standard_ohm", "weighted_ohm"
+    );
     for (k, &f) in report.nominal_impedance.freqs_hz.iter().enumerate() {
-        println!("{:>12.4e} {:>14.6e} {:>14.6e} {:>14.6e}",
+        println!(
+            "{:>12.4e} {:>14.6e} {:>14.6e} {:>14.6e}",
             f,
             report.nominal_impedance.values[k].abs(),
             report.standard_model_eval.impedance.values[k].abs(),
-            report.weighted_model_eval.impedance.values[k].abs());
+            report.weighted_model_eval.impedance.values[k].abs()
+        );
     }
-    println!("# relative RMS error: standard {:.3}, weighted {:.3}",
+    println!(
+        "# relative RMS error: standard {:.3}, weighted {:.3}",
         report.standard_model_eval.impedance_relative_error,
-        report.weighted_model_eval.impedance_relative_error);
+        report.weighted_model_eval.impedance_relative_error
+    );
 }

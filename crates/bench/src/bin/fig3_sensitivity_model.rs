@@ -9,9 +9,11 @@ fn main() {
         }
         let w = 2.0 * std::f64::consts::PI * f;
         let model = report.sensitivity_model.evaluate_magnitude(w).expect("model eval");
-        println!("{:>12.4e} {:>12.3} {:>12.3}",
+        println!(
+            "{:>12.4e} {:>12.3} {:>12.3}",
             f,
             20.0 * report.sensitivity[k].max(1e-300).log10(),
-            20.0 * model.max(1e-300).log10());
+            20.0 * model.max(1e-300).log10()
+        );
     }
 }

@@ -3,22 +3,28 @@
 fn main() {
     let (_, report) = pim_bench::run_reduced_flow();
     println!("# Figure 5: target impedance after passivity enforcement");
-    println!("{:>12} {:>14} {:>14} {:>14} {:>14}",
-        "freq_Hz", "nominal_ohm", "nonpassive_ohm", "std_socp_ohm", "weighted_ohm");
+    println!(
+        "{:>12} {:>14} {:>14} {:>14} {:>14}",
+        "freq_Hz", "nominal_ohm", "nonpassive_ohm", "std_socp_ohm", "weighted_ohm"
+    );
     for (k, &f) in report.nominal_impedance.freqs_hz.iter().enumerate() {
         let std_passive = report
             .standard_passive_eval
             .as_ref()
             .map(|e| e.impedance.values[k].abs())
             .unwrap_or(f64::NAN);
-        println!("{:>12.4e} {:>14.6e} {:>14.6e} {:>14.6e} {:>14.6e}",
+        println!(
+            "{:>12.4e} {:>14.6e} {:>14.6e} {:>14.6e} {:>14.6e}",
             f,
             report.nominal_impedance.values[k].abs(),
             report.weighted_model_eval.impedance.values[k].abs(),
             std_passive,
-            report.weighted_passive_eval.impedance.values[k].abs());
+            report.weighted_passive_eval.impedance.values[k].abs()
+        );
     }
-    println!("# relative RMS error: weighted-passive {:.3}, standard-passive {:?}",
+    println!(
+        "# relative RMS error: weighted-passive {:.3}, standard-passive {:?}",
         report.weighted_passive_eval.impedance_relative_error,
-        report.standard_passive_eval.as_ref().map(|e| e.impedance_relative_error));
+        report.standard_passive_eval.as_ref().map(|e| e.impedance_relative_error)
+    );
 }

@@ -9,12 +9,18 @@ fn main() {
         .sample(scenario.data.grid(), ParameterKind::Scattering, scenario.data.z_ref())
         .expect("sampling");
     println!("# Figure 6: scattering representation, data vs weighted passive model");
-    println!("{:>12} {:>10} {:>10} {:>10} {:>10}", "freq_Hz", "S11_dat_dB", "S11_mod_dB", "S12_dat_dB", "S12_mod_dB");
+    println!(
+        "{:>12} {:>10} {:>10} {:>10} {:>10}",
+        "freq_Hz", "S11_dat_dB", "S11_mod_dB", "S12_dat_dB", "S12_mod_dB"
+    );
     let d11 = element_magnitude_db(&scenario.data, 0, 0);
     let m11 = element_magnitude_db(&model_data, 0, 0);
     let d12 = element_magnitude_db(&scenario.data, 0, 1);
     let m12 = element_magnitude_db(&model_data, 0, 1);
     for (k, &f) in scenario.data.grid().freqs_hz().iter().enumerate() {
-        println!("{:>12.4e} {:>10.3} {:>10.3} {:>10.3} {:>10.3}", f, d11[k], m11[k], d12[k], m12[k]);
+        println!(
+            "{:>12.4e} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
+            f, d11[k], m11[k], d12[k], m12[k]
+        );
     }
 }

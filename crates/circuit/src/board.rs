@@ -139,8 +139,8 @@ pub fn build_board(spec: &PdnBoardSpec) -> Result<SyntheticPdn> {
     // Port connections through via parasitics.
     let mut seen = std::collections::HashSet::new();
     let connect_ports = |circuit: &mut Circuit,
-                             coords: &[(usize, usize)],
-                             seen: &mut std::collections::HashSet<(usize, usize)>|
+                         coords: &[(usize, usize)],
+                         seen: &mut std::collections::HashSet<(usize, usize)>|
      -> Result<Vec<usize>> {
         let mut indices = Vec::with_capacity(coords.len());
         for &(ix, iy) in coords {

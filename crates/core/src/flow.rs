@@ -17,13 +17,17 @@
 use crate::weighting::sensitivity_weighted_norm;
 use crate::{CoreError, Result};
 use pim_passivity::check::assess;
-use pim_passivity::enforce::{enforce_passivity, EnforcementConfig, EnforcementOutcome, PerturbationNorm};
+use pim_passivity::enforce::{
+    enforce_passivity, EnforcementConfig, EnforcementOutcome, PerturbationNorm,
+};
 use pim_passivity::PassivityError;
 use pim_pdn::sensitivity::sensitivity_to_weights;
 use pim_pdn::{analytic_sensitivity, target_impedance, TargetImpedance, TerminationNetwork};
 use pim_rfdata::{metrics, NetworkData, ParameterKind};
 use pim_statespace::PoleResidueModel;
-use pim_vectfit::{fit_magnitude, vector_fit, MagnitudeFitConfig, SensitivityModel, VfConfig, VfResult};
+use pim_vectfit::{
+    fit_magnitude, vector_fit, MagnitudeFitConfig, SensitivityModel, VfConfig, VfResult,
+};
 
 /// Configuration of the full flow.
 #[derive(Debug, Clone)]
@@ -131,8 +135,7 @@ pub fn evaluate_model(
     let sampled = model.sample(data.grid(), ParameterKind::Scattering, data.z_ref())?;
     let scattering_rms_error = metrics::rms_error(&sampled, data)?;
     let impedance = target_impedance(&sampled, network, observation_port)?;
-    let impedance_relative_error =
-        metrics::relative_rms_error(&nominal.values, &impedance.values)?;
+    let impedance_relative_error = metrics::relative_rms_error(&nominal.values, &impedance.values)?;
     Ok(ModelEvaluation { scattering_rms_error, impedance_relative_error, impedance })
 }
 
@@ -165,12 +168,8 @@ pub fn run_flow(
     //    point, where ω = 0 carries no extra information for the magnitude
     //    fit and the x = ω² mapping is degenerate).
     let omegas = data.grid().omegas();
-    let (fit_omegas, fit_xi): (Vec<f64>, Vec<f64>) = omegas
-        .iter()
-        .zip(&sensitivity)
-        .filter(|(&w, _)| w > 0.0)
-        .map(|(&w, &x)| (w, x))
-        .unzip();
+    let (fit_omegas, fit_xi): (Vec<f64>, Vec<f64>) =
+        omegas.iter().zip(&sensitivity).filter(|(&w, _)| w > 0.0).map(|(&w, &x)| (w, x)).unzip();
     let sensitivity_model = fit_magnitude(
         &fit_omegas,
         &fit_xi,
@@ -227,13 +226,9 @@ pub fn run_flow(
         &nominal_impedance,
     )?;
     let standard_passive_eval = match &standard_enforcement {
-        Some(out) => Some(evaluate_model(
-            &out.model,
-            data,
-            network,
-            observation_port,
-            &nominal_impedance,
-        )?),
+        Some(out) => {
+            Some(evaluate_model(&out.model, data, network, observation_port, &nominal_impedance)?)
+        }
         None => None,
     };
 
@@ -302,11 +297,7 @@ mod tests {
         // passive and keeps the target impedance accurate.
         let final_eval = &report.weighted_passive_eval;
         assert!(final_eval.impedance_relative_error < 0.6);
-        let final_assessment = assess(
-            report.final_model(),
-            &sc.data.grid().omegas(),
-        )
-        .unwrap();
+        let final_assessment = assess(report.final_model(), &sc.data.grid().omegas()).unwrap();
         // The enforcement loop certifies passivity on its own (denser)
         // sweep plus the Hamiltonian test; re-assessing on the coarser data
         // grid may expose residual violations at the numerical-tolerance

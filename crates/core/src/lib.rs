@@ -30,7 +30,7 @@ pub mod scenario;
 pub mod weighting;
 
 pub use flow::{run_flow, FlowConfig, FlowReport, ModelEvaluation};
-pub use scenario::{StandardScenario, ScenarioConfig};
+pub use scenario::{ScenarioConfig, StandardScenario};
 pub use weighting::sensitivity_weighted_norm;
 
 use std::error::Error;

@@ -190,10 +190,7 @@ mod tests {
         let xi = analytic_sensitivity(&sc.data, &sc.network, sc.observation_port).unwrap();
         let low = xi[1];
         let high = xi[xi.len() - 1];
-        assert!(
-            low > 30.0 * high,
-            "sensitivity contrast too small: low {low}, high {high}"
-        );
+        assert!(low > 30.0 * high, "sensitivity contrast too small: low {low}, high {high}");
     }
 
     #[test]

@@ -70,7 +70,11 @@ mod tests {
         let r = CMat::from_fn(2, 2, |i, j| c(1e3 + 100.0 * (i + j) as f64, 50.0));
         PoleResidueModel::new(
             vec![c(-1e3, 0.0), p, p.conj()],
-            vec![CMat::from_fn(2, 2, |i, j| c(500.0 * (1 + i + j) as f64, 0.0)), r.clone(), r.conj()],
+            vec![
+                CMat::from_fn(2, 2, |i, j| c(500.0 * (1 + i + j) as f64, 0.0)),
+                r.clone(),
+                r.conj(),
+            ],
             Mat::from_fn(2, 2, |i, j| if i == j { 0.3 } else { 0.05 }),
         )
         .unwrap()

@@ -1,0 +1,156 @@
+//! Offline stand-in for the crates.io `criterion` benchmark harness.
+//!
+//! The build environment of this reproduction has no network access to a
+//! crates registry, so the workspace cannot depend on the real `criterion`
+//! crate. This shim implements the small API subset used by
+//! `crates/bench/benches/figures.rs` — [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`Bencher::iter`], [`criterion_group!`]
+//! and [`criterion_main!`] — with plain wall-clock timing instead of
+//! criterion's statistical analysis.
+//!
+//! Each benchmark runs a short warm-up, then `sample_size` timed iterations,
+//! and prints the mean and min/max per-iteration time. Replacing this crate
+//! with the real `criterion` (by pointing the workspace dependency back at
+//! crates.io) requires no source change in the bench crate.
+
+#![deny(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Default number of timed samples per benchmark, mirroring criterion's
+/// default sample count order of magnitude while staying fast enough for a
+/// harness that runs in CI.
+const DEFAULT_SAMPLE_SIZE: usize = 20;
+
+/// Timing helper handed to benchmark closures; measures the closure passed
+/// to [`Bencher::iter`].
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Self { samples: Vec::with_capacity(sample_size), sample_size }
+    }
+
+    /// Runs `f` once as warm-up, then `sample_size` timed iterations,
+    /// recording each iteration's wall-clock duration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        std::hint::black_box(f());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<44} (no samples)");
+            return;
+        }
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        let min = self.samples.iter().min().expect("non-empty");
+        let max = self.samples.iter().max().expect("non-empty");
+        println!(
+            "{name:<44} mean {mean:>12?}   min {min:>12?}   max {max:>12?}   ({} samples)",
+            self.samples.len()
+        );
+    }
+}
+
+/// Top-level benchmark driver, the shim counterpart of `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(DEFAULT_SAMPLE_SIZE);
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Opens a named group of benchmarks sharing a sample-size setting.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup { _parent: self, sample_size: DEFAULT_SAMPLE_SIZE }
+    }
+}
+
+/// A group of benchmarks with a shared configuration, the shim counterpart
+/// of `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a single named benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        b.report(&format!("  {name}"));
+        self
+    }
+
+    /// Finishes the group (a no-op in the shim, kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main` function, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut runs = 0usize;
+        c.bench_function("smoke", |b| b.iter(|| runs += 1));
+        // one warm-up + DEFAULT_SAMPLE_SIZE timed iterations
+        assert_eq!(runs, DEFAULT_SAMPLE_SIZE + 1);
+    }
+
+    #[test]
+    fn group_respects_sample_size() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        let mut runs = 0usize;
+        g.bench_function("smoke", |b| b.iter(|| runs += 1));
+        g.finish();
+        assert_eq!(runs, 4);
+    }
+}

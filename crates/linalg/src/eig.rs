@@ -124,7 +124,10 @@ pub fn symmetric_eig(a: &Mat) -> Result<SymmetricEig> {
             }
         }
     }
-    Err(LinalgError::NonConvergence { context: "symmetric_eig Jacobi sweeps", iterations: max_sweeps })
+    Err(LinalgError::NonConvergence {
+        context: "symmetric_eig Jacobi sweeps",
+        iterations: max_sweeps,
+    })
 }
 
 /// Returns `true` if the symmetric matrix `a` is positive definite, judged by
@@ -159,11 +162,7 @@ mod tests {
 
     #[test]
     fn complex_eigenvalues_come_in_conjugate_pairs_for_real_input() {
-        let a = Mat::from_rows(&[
-            &[0.0, 1.0, 0.0],
-            &[-1.0, -0.2, 0.5],
-            &[0.3, 0.0, -2.0],
-        ]);
+        let a = Mat::from_rows(&[&[0.0, 1.0, 0.0], &[-1.0, -0.2, 0.5], &[0.3, 0.0, -2.0]]);
         let ev = eigenvalues(&a).unwrap();
         let sum_im: f64 = ev.iter().map(|e| e.im).sum();
         assert!(sum_im.abs() < 1e-10, "imaginary parts must cancel for real matrices");
@@ -179,11 +178,7 @@ mod tests {
 
     #[test]
     fn symmetric_eig_diagonalizes() {
-        let a = Mat::from_rows(&[
-            &[4.0, 1.0, -2.0],
-            &[1.0, 2.0, 0.0],
-            &[-2.0, 0.0, 3.0],
-        ]);
+        let a = Mat::from_rows(&[&[4.0, 1.0, -2.0], &[1.0, 2.0, 0.0], &[-2.0, 0.0, 3.0]]);
         let e = symmetric_eig(&a).unwrap();
         // Reconstruct A = V D V^T
         let d = Mat::from_diag(&e.values);

@@ -160,11 +160,7 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        let e = LinalgError::DimensionMismatch {
-            context: "matmul",
-            left: (2, 3),
-            right: (4, 5),
-        };
+        let e = LinalgError::DimensionMismatch { context: "matmul", left: (2, 3), right: (4, 5) };
         let s = format!("{e}");
         assert!(s.contains("matmul") && s.contains("2x3") && s.contains("4x5"));
         let e = LinalgError::Singular { context: "lu solve" };

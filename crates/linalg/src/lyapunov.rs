@@ -67,7 +67,9 @@ pub fn solve_sylvester_complex(a: &CMat, b: &CMat, c: &CMat) -> Result<CMat> {
             }
             let d = ta[(i, i)] + lambda;
             if d.abs() <= f64::EPSILON * scale * 4.0 {
-                return Err(LinalgError::Singular { context: "solve_sylvester: spectra of A and -B intersect" });
+                return Err(LinalgError::Singular {
+                    context: "solve_sylvester: spectra of A and -B intersect",
+                });
             }
             y[(i, k)] = acc / d;
         }
@@ -252,10 +254,7 @@ mod tests {
         let a = Mat::from_diag(&[1.0, 2.0]);
         let b = Mat::from_diag(&[-1.0, -5.0]);
         let c = Mat::identity(2);
-        assert!(matches!(
-            solve_sylvester(&a, &b, &c),
-            Err(LinalgError::Singular { .. })
-        ));
+        assert!(matches!(solve_sylvester(&a, &b, &c), Err(LinalgError::Singular { .. })));
     }
 
     #[test]

@@ -373,10 +373,7 @@ impl Mat {
     /// Panics if the shapes differ.
     pub fn max_abs_diff(&self, other: &Mat) -> f64 {
         assert_eq!(self.shape(), other.shape(), "max_abs_diff shape mismatch");
-        self.data
-            .iter()
-            .zip(other.data.iter())
-            .fold(0.0_f64, |m, (a, b)| m.max((a - b).abs()))
+        self.data.iter().zip(other.data.iter()).fold(0.0_f64, |m, (a, b)| m.max((a - b).abs()))
     }
 
     /// Returns `true` if the matrix is symmetric to within `tol`.

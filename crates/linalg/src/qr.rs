@@ -333,7 +333,9 @@ mod tests {
     fn moderately_large_wellconditioned_problem() {
         let m = 120;
         let n = 20;
-        let a = Mat::from_fn(m, n, |i, j| ((i as f64 + 1.0) * 0.05).powi(j as i32 % 4) + if i % n == j { 2.0 } else { 0.0 });
+        let a = Mat::from_fn(m, n, |i, j| {
+            ((i as f64 + 1.0) * 0.05).powi(j as i32 % 4) + if i % n == j { 2.0 } else { 0.0 }
+        });
         let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
         let b = a.matvec(&x_true).unwrap();
         let x = lstsq(&a, &b).unwrap();

@@ -111,12 +111,7 @@ pub fn complex_schur(a: &CMat) -> Result<Schur> {
         let shift = if iter_this_eig % 15 == 0 {
             Complex64::from_real(t[(hi, hi - 1)].abs() + t[(hi, hi)].abs())
         } else {
-            wilkinson_shift(
-                t[(hi - 1, hi - 1)],
-                t[(hi - 1, hi)],
-                t[(hi, hi - 1)],
-                t[(hi, hi)],
-            )
+            wilkinson_shift(t[(hi - 1, hi - 1)], t[(hi - 1, hi)], t[(hi, hi - 1)], t[(hi, hi)])
         };
 
         // Explicit single-shift QR sweep on the active block [lo, hi].
@@ -198,7 +193,11 @@ mod tests {
         assert!(uu.max_abs_diff(&CMat::identity(n)) < tol, "U not unitary");
         // A = U T U^H
         let back = s.u.matmul(&s.t).unwrap().matmul(&s.u.hermitian()).unwrap();
-        assert!(back.max_abs_diff(a) < tol * 10.0, "reconstruction failed: {}", back.max_abs_diff(a));
+        assert!(
+            back.max_abs_diff(a) < tol * 10.0,
+            "reconstruction failed: {}",
+            back.max_abs_diff(a)
+        );
     }
 
     #[test]

@@ -137,14 +137,16 @@ pub fn svd(a: &CMat) -> Result<Svd> {
         }
     }
     if !converged {
-        return Err(LinalgError::NonConvergence { context: "svd Jacobi sweeps", iterations: MAX_SWEEPS });
+        return Err(LinalgError::NonConvergence {
+            context: "svd Jacobi sweeps",
+            iterations: MAX_SWEEPS,
+        });
     }
 
     // Singular values are the column norms of W; U is W with normalized columns.
     let mut order: Vec<usize> = (0..n).collect();
-    let norms: Vec<f64> = (0..n)
-        .map(|j| (0..m).map(|i| w[(i, j)].abs_sq()).sum::<f64>().sqrt())
-        .collect();
+    let norms: Vec<f64> =
+        (0..n).map(|j| (0..m).map(|i| w[(i, j)].abs_sq()).sum::<f64>().sqrt()).collect();
     order.sort_by(|&x, &y| norms[y].partial_cmp(&norms[x]).unwrap());
 
     let mut u = CMat::zeros(m, n);

@@ -105,11 +105,8 @@ pub fn hamiltonian_crossings(sys: &StateSpace) -> Result<Vec<f64>> {
     // the computed eigenvalues carry noticeable roundoff, and it is safer to
     // report a few extra candidate frequencies (the singular-value sweep
     // verifies them) than to miss a genuine crossing.
-    let mut crossings: Vec<f64> = evs
-        .iter()
-        .filter(|e| e.im > 0.0 && e.re.abs() <= 1e-4 * e.abs())
-        .map(|e| e.im)
-        .collect();
+    let mut crossings: Vec<f64> =
+        evs.iter().filter(|e| e.im > 0.0 && e.re.abs() <= 1e-4 * e.abs()).map(|e| e.im).collect();
     crossings.sort_by(|a, b| a.partial_cmp(b).unwrap());
     // Merge near-duplicates produced by the eigenvalue solver.
     let mut merged: Vec<f64> = Vec::with_capacity(crossings.len());
@@ -144,9 +141,7 @@ pub fn is_passive(sys: &StateSpace) -> Result<bool> {
 pub fn singular_value_sweep(model: &PoleResidueModel, omegas: &[f64]) -> Result<Vec<Vec<f64>>> {
     let mut out = Vec::with_capacity(omegas.len());
     for &omega in omegas {
-        let s = model
-            .evaluate_at_omega(omega)
-            .map_err(PassivityError::StateSpace)?;
+        let s = model.evaluate_at_omega(omega).map_err(PassivityError::StateSpace)?;
         out.push(singular_values(&s)?);
     }
     Ok(out)
@@ -233,7 +228,13 @@ pub fn assess(model: &PoleResidueModel, omegas: &[f64]) -> Result<PassivityRepor
     // passivity purely from their imaginary-axis classification is too
     // sensitive to eigenvalue roundoff for large models.
     let passive = bands.is_empty() && sigma_max <= 1.0;
-    Ok(PassivityReport { passive, sigma_max, omega_at_sigma_max: omega_at, bands, hamiltonian_crossings: crossings })
+    Ok(PassivityReport {
+        passive,
+        sigma_max,
+        omega_at_sigma_max: omega_at,
+        bands,
+        hamiltonian_crossings: crossings,
+    })
 }
 
 /// Largest singular value of the model's scattering matrix at one frequency,

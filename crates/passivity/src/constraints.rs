@@ -92,9 +92,7 @@ pub fn build_constraints(
         }
         let phi = CLu::new(&si_a)?.solve(&element_realization.b().to_complex())?;
 
-        let s_matrix = model
-            .evaluate_at_omega(omega)
-            .map_err(PassivityError::StateSpace)?;
+        let s_matrix = model.evaluate_at_omega(omega).map_err(PassivityError::StateSpace)?;
         let decomposition = svd(&s_matrix)?;
         for (idx, &sigma) in decomposition.singular_values.iter().enumerate() {
             if sigma <= sigma_threshold {
@@ -175,7 +173,8 @@ mod tests {
 
     fn violating_two_port() -> PoleResidueModel {
         let p = c(-60.0, 900.0);
-        let r = CMat::from_fn(2, 2, |i, j| c(20.0 + 5.0 * (i + j) as f64, 8.0 - 2.0 * (i + j) as f64));
+        let r =
+            CMat::from_fn(2, 2, |i, j| c(20.0 + 5.0 * (i + j) as f64, 8.0 - 2.0 * (i + j) as f64));
         PoleResidueModel::new(
             vec![p, p.conj(), c(-2000.0, 0.0)],
             vec![r.clone(), r.conj(), CMat::from_diag(&[c(100.0, 0.0), c(80.0, 0.0)])],
@@ -195,8 +194,7 @@ mod tests {
         // Take a small random-ish perturbation and verify the first-order
         // prediction of the largest singular value change.
         let delta: Vec<f64> = (0..cons.unknowns()).map(|k| 1e-5 * ((k % 7) as f64 - 3.0)).collect();
-        let predicted_change: f64 =
-            (0..cons.unknowns()).map(|k| cons.f[(0, k)] * delta[k]).sum();
+        let predicted_change: f64 = (0..cons.unknowns()).map(|k| cons.f[(0, k)] * delta[k]).sum();
         let sigma_before = crate::check::sigma_max_at(&model, omega).unwrap();
         let perturbed = apply_perturbation(&model, &delta).unwrap();
         let sigma_after = crate::check::sigma_max_at(&perturbed, omega).unwrap();

@@ -238,9 +238,7 @@ pub fn enforce_passivity(
         )));
     }
     if !(band_max_omega > 0.0) {
-        return Err(PassivityError::InvalidInput(
-            "band_max_omega must be positive".into(),
-        ));
+        return Err(PassivityError::InvalidInput("band_max_omega must be positive".into()));
     }
     if config.sweep_points < 10 {
         return Err(PassivityError::InvalidInput("sweep_points must be at least 10".into()));
@@ -305,10 +303,7 @@ pub fn enforce_passivity(
         }
         history.push(report.sigma_max);
         if iterations >= config.max_iterations {
-            return Err(PassivityError::NotConverged {
-                iterations,
-                sigma_max: report.sigma_max,
-            });
+            return Err(PassivityError::NotConverged { iterations, sigma_max: report.sigma_max });
         }
         iterations += 1;
 
@@ -420,7 +415,8 @@ mod tests {
     /// A symmetric 2-port with violations.
     fn violating_two_port() -> PoleResidueModel {
         let p = c(-60.0, 900.0);
-        let r = CMat::from_fn(2, 2, |i, j| c(22.0 + 5.0 * (i + j) as f64, 8.0 - 2.0 * (i + j) as f64));
+        let r =
+            CMat::from_fn(2, 2, |i, j| c(22.0 + 5.0 * (i + j) as f64, 8.0 - 2.0 * (i + j) as f64));
         PoleResidueModel::new(
             vec![p, p.conj(), c(-3000.0, 0.0)],
             vec![r.clone(), r.conj(), CMat::from_diag(&[c(120.0, 0.0), c(100.0, 0.0)])],
@@ -456,14 +452,10 @@ mod tests {
         let out = enforce_passivity(&model, &norm, 5000.0, &cfg).unwrap();
         // Compare responses far from the violation: they must stay close.
         let omegas: Vec<f64> = (1..60).map(|k| k as f64 * 10.0).collect();
-        let before: Vec<Complex64> = omegas
-            .iter()
-            .map(|&w| model.evaluate_at_omega(w).unwrap()[(0, 0)])
-            .collect();
-        let after: Vec<Complex64> = omegas
-            .iter()
-            .map(|&w| out.model.evaluate_at_omega(w).unwrap()[(0, 0)])
-            .collect();
+        let before: Vec<Complex64> =
+            omegas.iter().map(|&w| model.evaluate_at_omega(w).unwrap()[(0, 0)]).collect();
+        let after: Vec<Complex64> =
+            omegas.iter().map(|&w| out.model.evaluate_at_omega(w).unwrap()[(0, 0)]).collect();
         let err = relative_rms_error(&before, &after).unwrap();
         assert!(err < 0.1, "relative deviation {err} too large");
     }
@@ -472,11 +464,8 @@ mod tests {
     fn enforcement_handles_two_port_and_preserves_symmetry() {
         let model = violating_two_port();
         let norm = PerturbationNorm::standard(&model).unwrap();
-        let cfg = EnforcementConfig {
-            sweep_points: 200,
-            preserve_symmetry: true,
-            ..Default::default()
-        };
+        let cfg =
+            EnforcementConfig { sweep_points: 200, preserve_symmetry: true, ..Default::default() };
         let out = enforce_passivity(&model, &norm, 6000.0, &cfg).unwrap();
         assert!(out.report.passive);
         for r in out.model.residues() {
@@ -493,8 +482,7 @@ mod tests {
         )
         .unwrap();
         let norm = PerturbationNorm::standard(&model).unwrap();
-        let out =
-            enforce_passivity(&model, &norm, 1000.0, &EnforcementConfig::default()).unwrap();
+        let out = enforce_passivity(&model, &norm, 1000.0, &EnforcementConfig::default()).unwrap();
         assert_eq!(out.iterations, 0);
         assert!(out.report.passive);
         assert_eq!(out.accumulated_norm, 0.0);
@@ -549,8 +537,7 @@ mod tests {
             blocks[0] = blocks[0].scaled(100.0);
             PerturbationNorm::from_gramians(blocks, 2, 3).unwrap()
         };
-        let cfg =
-            EnforcementConfig { sweep_points: 150, max_iterations: 60, ..Default::default() };
+        let cfg = EnforcementConfig { sweep_points: 150, max_iterations: 60, ..Default::default() };
         let out_std = enforce_passivity(&model, &standard, 6000.0, &cfg).unwrap();
         let out_w = enforce_passivity(&model, &heavy, 6000.0, &cfg).unwrap();
         assert!(out_std.report.passive && out_w.report.passive);

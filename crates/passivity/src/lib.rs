@@ -26,7 +26,9 @@ pub mod constraints;
 pub mod enforce;
 pub mod qp;
 
-pub use check::{hamiltonian_crossings, is_passive, singular_value_sweep, PassivityReport, ViolationBand};
+pub use check::{
+    hamiltonian_crossings, is_passive, singular_value_sweep, PassivityReport, ViolationBand,
+};
 pub use enforce::{enforce_passivity, EnforcementConfig, EnforcementOutcome, PerturbationNorm};
 
 use std::error::Error;

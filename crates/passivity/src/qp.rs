@@ -94,7 +94,12 @@ pub fn solve_block_qp(
     }
     let m = g.len();
     if m == 0 {
-        return Ok(QpSolution { x: vec![0.0; n], multipliers: vec![], iterations: 0, objective: 0.0 });
+        return Ok(QpSolution {
+            x: vec![0.0; n],
+            multipliers: vec![],
+            iterations: 0,
+            objective: 0.0,
+        });
     }
 
     // Factor each regularized block once; the Hessian of the primal is

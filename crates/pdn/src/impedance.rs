@@ -148,16 +148,14 @@ mod tests {
             .collect();
         let data = NetworkData::new(grid.clone(), mats, ParameterKind::Scattering, 50.0).unwrap();
         let die = Termination::DieBlock { resistance: 0.05, capacitance: 100e-9 };
-        let net = TerminationNetwork::new(vec![die]).unwrap().with_excitation(vec![0], 1.0).unwrap();
+        let net =
+            TerminationNetwork::new(vec![die]).unwrap().with_excitation(vec![0], 1.0).unwrap();
         let zt = target_impedance(&data, &net, 0).unwrap();
         for (k, &f) in grid.freqs_hz().iter().enumerate() {
             let omega = TWO_PI * f;
             let y_die = die.admittance(omega).unwrap();
             let expected = (Complex64::from_real(1.0 / r_pdn) + y_die).recip();
-            assert!(
-                (zt.values[k] - expected).abs() < 1e-9 * expected.abs(),
-                "mismatch at {f} Hz"
-            );
+            assert!((zt.values[k] - expected).abs() < 1e-9 * expected.abs(), "mismatch at {f} Hz");
         }
         let (f_peak, z_peak) = zt.peak();
         assert!(z_peak <= 0.1 + 1e-12);
@@ -176,13 +174,11 @@ mod tests {
         let z = CMat::from_rows(&[&[c(0.5, 0.0), c(0.3, 0.0)], &[c(0.3, 0.0), c(0.5, 0.0)]]);
         let s = z_to_s(&z, 50.0).unwrap();
         let data = NetworkData::new(grid, vec![s], ParameterKind::Scattering, 50.0).unwrap();
-        let net = TerminationNetwork::new(vec![
-            Termination::Open,
-            Termination::Resistor { ohms: 1.0 },
-        ])
-        .unwrap()
-        .with_excitation(vec![0], 1.0)
-        .unwrap();
+        let net =
+            TerminationNetwork::new(vec![Termination::Open, Termination::Resistor { ohms: 1.0 }])
+                .unwrap()
+                .with_excitation(vec![0], 1.0)
+                .unwrap();
         let zt = target_impedance(&data, &net, 0).unwrap();
         // Analytic: Z_in with port 2 loaded by R_L:
         // Z = Z11 - Z12*Z21/(Z22 + R_L)
@@ -205,8 +201,8 @@ mod tests {
     fn validation_errors() {
         let grid = FrequencyGrid::from_hz(vec![1.0]).unwrap();
         let s = CMat::zeros(1, 1);
-        let data =
-            NetworkData::new(grid.clone(), vec![s.clone()], ParameterKind::Scattering, 50.0).unwrap();
+        let data = NetworkData::new(grid.clone(), vec![s.clone()], ParameterKind::Scattering, 50.0)
+            .unwrap();
         let net = TerminationNetwork::new(vec![Termination::Open]).unwrap();
         // No excitation declared.
         assert!(target_impedance(&data, &net, 0).is_err());

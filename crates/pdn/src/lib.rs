@@ -22,6 +22,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod impedance;
+pub mod rng;
 pub mod sensitivity;
 pub mod terminations;
 

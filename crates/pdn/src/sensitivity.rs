@@ -16,11 +16,10 @@
 //! perturbations and uses as a frequency-dependent weight. A Monte Carlo
 //! estimator matching the paper's definition is provided for validation.
 
+use crate::rng::SplitMix64;
 use crate::{PdnError, Result, TerminationNetwork};
 use pim_linalg::{CMat, Complex64};
 use pim_rfdata::{NetworkData, ParameterKind};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Options for the Monte Carlo sensitivity estimator.
 #[derive(Debug, Clone)]
@@ -75,12 +74,12 @@ pub fn analytic_sensitivity(
         let y_l = network.load_admittance(omega)?;
         let i_plus_s_inv = (&CMat::identity(ports) + s).inverse()?;
         // (I−S)(I+S)⁻¹ = (I+S)⁻¹(I−S): both factors are polynomials in S.
-        let y_pdn =
-            i_plus_s_inv.matmul(&(&CMat::identity(ports) - s))?.scaled_real(1.0 / r0);
+        let y_pdn = i_plus_s_inv.matmul(&(&CMat::identity(ports) - s))?.scaled_real(1.0 / r0);
         let z = (&y_pdn + &y_l).inverse()?;
         // Left and right factors of the Jacobian.
         let left = z.matmul(&i_plus_s_inv)?; // Z (I+S)^{-1}
         let right = i_plus_s_inv.matmul(&z)?; // (I+S)^{-1} Z
+
         // The observation is a weighted combination of matrix elements
         // (i, col) with weights J_col / I_total; accumulate the Jacobian of
         // that combination.
@@ -129,7 +128,7 @@ pub fn monte_carlo_sensitivity(
     let total_current: f64 = j.iter().map(|z| z.re).sum();
     let ports = data.ports();
     let omegas = data.grid().omegas();
-    let mut rng = StdRng::seed_from_u64(options.seed);
+    let mut rng = SplitMix64::seed_from_u64(options.seed);
     let mut out = Vec::with_capacity(data.len());
     for (k, &omega) in omegas.iter().enumerate() {
         let y_l = network.load_admittance(omega)?;
@@ -217,11 +216,11 @@ fn validate(
     Ok(())
 }
 
-/// Standard normal sample via Box–Muller (keeps the dependency surface to the
-/// plain `rand` core API).
-fn gaussian<R: Rng>(rng: &mut R, sigma: f64) -> f64 {
-    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-    let u2: f64 = rng.gen_range(0.0..1.0);
+/// Standard normal sample via Box–Muller on the self-contained [`SplitMix64`]
+/// stream (`u1` is drawn from `(0, 1]`, so `ln(u1)` is always finite).
+fn gaussian(rng: &mut SplitMix64, sigma: f64) -> f64 {
+    let u1 = rng.next_open01();
+    let u2 = rng.next_open01();
     sigma * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
 }
 

@@ -269,14 +269,18 @@ mod tests {
     fn invalid_elements_are_rejected() {
         assert!(Termination::Resistor { ohms: 0.0 }.admittance(1.0).is_err());
         assert!(Termination::Resistor { ohms: -5.0 }.admittance(1.0).is_err());
-        assert!(Termination::Decap { capacitance: 0.0, esr: 0.0, esl: 0.0 }.admittance(1.0).is_err());
+        assert!(Termination::Decap { capacitance: 0.0, esr: 0.0, esl: 0.0 }
+            .admittance(1.0)
+            .is_err());
         assert!(Termination::Decap { capacitance: 1e-6, esr: -1.0, esl: 0.0 }
             .admittance(1.0)
             .is_err());
         assert!(Termination::DieBlock { resistance: -0.1, capacitance: 1e-9 }
             .admittance(1.0)
             .is_err());
-        assert!(Termination::SeriesRl { resistance: 0.0, inductance: 0.0 }.admittance(1.0).is_err());
+        assert!(Termination::SeriesRl { resistance: 0.0, inductance: 0.0 }
+            .admittance(1.0)
+            .is_err());
     }
 
     #[test]

@@ -1,0 +1,284 @@
+//! Offline stand-in for the crates.io `proptest` crate.
+//!
+//! The build environment of this reproduction has no network access to a
+//! crates registry, so the workspace cannot depend on the real `proptest`.
+//! This shim implements the API subset used by the `tests/properties.rs`
+//! suites — [`Strategy`] with [`Strategy::prop_map`], range and tuple
+//! strategies, [`prop::collection::vec`], the [`proptest!`] block macro with
+//! `#![proptest_config(...)]`, and [`prop_assert!`] — as a plain randomized
+//! test driver:
+//!
+//! * each test runs `ProptestConfig::cases` iterations with inputs drawn
+//!   from the strategies;
+//! * the random stream is deterministic, seeded from the test's name, so a
+//!   failure is reproducible by re-running the same test binary;
+//! * there is **no shrinking**: a failing case panics with the plain
+//!   assertion message instead of a minimized counterexample.
+//!
+//! Swapping the real `proptest` back in (by pointing the workspace
+//! dependency at crates.io) requires no change to the test sources.
+
+#![deny(missing_docs)]
+
+use std::ops::Range;
+
+/// Per-block configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Deterministic SplitMix64 stream driving the strategies.
+///
+/// Twin of `pim_pdn::rng::SplitMix64` (kept separate so this shim mirrors
+/// crates.io `proptest` in having no workspace dependencies) — keep the
+/// mixing constants and float conversion in sync with that copy.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a 64-bit seed; equal seeds yield equal streams.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform sample in `[0, 1)` using the 53 high bits of [`Self::next_u64`].
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// FNV-1a hash of the test name, used as the per-test RNG seed so distinct
+/// tests draw distinct (but stable across runs) input streams.
+pub fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// A generator of random test inputs, mirroring `proptest::strategy::Strategy`.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value from the strategy.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps the produced values through `f`, mirroring `Strategy::prop_map`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "invalid f64 range {:?}", self);
+        self.start + (self.end - self.start) * rng.next_f64()
+    }
+}
+
+impl Strategy for Range<i64> {
+    type Value = i64;
+
+    fn generate(&self, rng: &mut TestRng) -> i64 {
+        assert!(self.start < self.end, "invalid i64 range {:?}", self);
+        let span = (self.end - self.start) as u64;
+        self.start + (rng.next_u64() % span) as i64
+    }
+}
+
+impl Strategy for Range<usize> {
+    type Value = usize;
+
+    fn generate(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "invalid usize range {:?}", self);
+        let span = (self.end - self.start) as u64;
+        self.start + (rng.next_u64() % span) as usize
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A.0);
+impl_tuple_strategy!(A.0, B.1);
+impl_tuple_strategy!(A.0, B.1, C.2);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+/// Mirror of the `proptest::prop` helper-module hierarchy.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+
+        /// Strategy producing `Vec`s of a fixed length, mirroring
+        /// `proptest::collection::vec(element, size)` with an exact size.
+        pub struct VecStrategy<S> {
+            element: S,
+            count: usize,
+        }
+
+        /// Builds a [`VecStrategy`] drawing `count` elements from `element`.
+        pub fn vec<S: Strategy>(element: S, count: usize) -> VecStrategy<S> {
+            VecStrategy { element, count }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                (0..self.count).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Everything the test suites import, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{prop_assert, proptest, ProptestConfig, Strategy};
+}
+
+/// Asserts a condition inside a [`proptest!`] test, panicking (without
+/// shrinking) on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond, "property failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+/// Declares a block of randomized tests, mirroring `proptest::proptest!`.
+///
+/// Each `#[test] fn name(arg in strategy, ...)` item expands to a standard
+/// `#[test]` that draws `ProptestConfig::cases` input tuples from the
+/// strategies and runs the body on each.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            #[test]
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )+
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::seed_from_u64($crate::seed_for(stringify!($name)));
+                for case in 0..config.cases {
+                    let ($($arg,)+) = ($($crate::Strategy::generate(&$strategy, &mut rng),)+);
+                    let run = || -> () { $body };
+                    if ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run)).is_err() {
+                        panic!("property {} failed on case {} of {}", stringify!($name), case + 1, config.cases);
+                    }
+                }
+            }
+        )+
+    };
+    (
+        $(
+            #[test]
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )+
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                #[test]
+                fn $name($($arg in $strategy),+) $body
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::TestRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = Strategy::generate(&(-2.0f64..3.0), &mut rng);
+            assert!((-2.0..3.0).contains(&x));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn vec_strategy_has_requested_len(v in prop::collection::vec(-1.0f64..1.0, 7), scale in 0.5f64..2.0) {
+            prop_assert!(v.len() == 7);
+            prop_assert!(v.iter().all(|x| (x * scale).abs() < 2.0));
+        }
+
+        #[test]
+        fn prop_map_applies(n in (1.0f64..2.0).prop_map(|x| x * 10.0)) {
+            prop_assert!((10.0..20.0).contains(&n));
+        }
+    }
+}

@@ -70,9 +70,8 @@ impl FrequencyGrid {
         }
         let l0 = f_min.log10();
         let l1 = f_max.log10();
-        let freqs: Vec<f64> = (0..n)
-            .map(|k| 10f64.powf(l0 + (l1 - l0) * k as f64 / (n - 1) as f64))
-            .collect();
+        let freqs: Vec<f64> =
+            (0..n).map(|k| 10f64.powf(l0 + (l1 - l0) * k as f64 / (n - 1) as f64)).collect();
         FrequencyGrid::from_hz(freqs)
     }
 
@@ -87,9 +86,8 @@ impl FrequencyGrid {
                 "lin_space requires 0 <= f_min < f_max and at least two points".into(),
             ));
         }
-        let freqs: Vec<f64> = (0..n)
-            .map(|k| f_min + (f_max - f_min) * k as f64 / (n - 1) as f64)
-            .collect();
+        let freqs: Vec<f64> =
+            (0..n).map(|k| f_min + (f_max - f_min) * k as f64 / (n - 1) as f64).collect();
         FrequencyGrid::from_hz(freqs)
     }
 

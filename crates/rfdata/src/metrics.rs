@@ -52,11 +52,7 @@ pub fn weighted_squared_error(a: &NetworkData, b: &NetworkData, weights: &[f64])
             weights.len()
         )));
     }
-    Ok(per_frequency_error(a, b)?
-        .iter()
-        .zip(weights)
-        .map(|(e, w)| w * w * e * e)
-        .sum())
+    Ok(per_frequency_error(a, b)?.iter().zip(weights).map(|(e, w)| w * w * e * e).sum())
 }
 
 /// Maximum absolute entry-wise error over all frequencies.
@@ -66,9 +62,7 @@ pub fn weighted_squared_error(a: &NetworkData, b: &NetworkData, weights: &[f64])
 /// See [`per_frequency_error`].
 pub fn max_error(a: &NetworkData, b: &NetworkData) -> Result<f64> {
     check_compatible(a, b)?;
-    Ok((0..a.len())
-        .map(|k| a.matrix(k).max_abs_diff(b.matrix(k)))
-        .fold(0.0_f64, f64::max))
+    Ok((0..a.len()).map(|k| a.matrix(k).max_abs_diff(b.matrix(k))).fold(0.0_f64, f64::max))
 }
 
 /// Error of a single matrix element `(i, j)` across frequency, in decibels
@@ -78,12 +72,7 @@ pub fn max_error(a: &NetworkData, b: &NetworkData) -> Result<f64> {
 ///
 /// Returns [`RfDataError::Inconsistent`] for out-of-range indices plus the
 /// compatibility checks.
-pub fn element_error_db(
-    a: &NetworkData,
-    b: &NetworkData,
-    i: usize,
-    j: usize,
-) -> Result<Vec<f64>> {
+pub fn element_error_db(a: &NetworkData, b: &NetworkData, i: usize, j: usize) -> Result<Vec<f64>> {
     check_compatible(a, b)?;
     if i >= a.ports() || j >= a.ports() {
         return Err(RfDataError::Inconsistent(format!(
@@ -102,9 +91,7 @@ pub fn element_error_db(
 /// Magnitude of a single element in decibels (convenience for plotting the
 /// paper's Figures 1 and 6).
 pub fn element_magnitude_db(data: &NetworkData, i: usize, j: usize) -> Vec<f64> {
-    (0..data.len())
-        .map(|k| 20.0 * data.matrix(k)[(i, j)].abs().max(1e-300).log10())
-        .collect()
+    (0..data.len()).map(|k| 20.0 * data.matrix(k)[(i, j)].abs().max(1e-300).log10()).collect()
 }
 
 /// Phase of a single element in degrees.
@@ -124,11 +111,7 @@ pub fn relative_rms_error(reference: &[Complex64], candidate: &[Complex64]) -> R
             "relative_rms_error requires two equal-length non-empty vectors".into(),
         ));
     }
-    let num: f64 = reference
-        .iter()
-        .zip(candidate)
-        .map(|(r, c)| (*r - *c).abs_sq())
-        .sum();
+    let num: f64 = reference.iter().zip(candidate).map(|(r, c)| (*r - *c).abs_sq()).sum();
     let den: f64 = reference.iter().map(|r| r.abs_sq()).sum();
     if den == 0.0 {
         return Err(RfDataError::Inconsistent("reference vector is identically zero".into()));

@@ -192,7 +192,9 @@ impl NetworkData {
             ParameterKind::Scattering => {
                 self.matrices.iter().map(|s| s_to_z(s, self.z_ref)).collect()
             }
-            ParameterKind::Admittance => self.matrices.iter().map(|y| y.inverse().map_err(Into::into)).collect(),
+            ParameterKind::Admittance => {
+                self.matrices.iter().map(|y| y.inverse().map_err(Into::into)).collect()
+            }
         };
         NetworkData::new(self.grid.clone(), matrices?, ParameterKind::Impedance, self.z_ref)
     }
@@ -208,7 +210,9 @@ impl NetworkData {
             ParameterKind::Scattering => {
                 self.matrices.iter().map(|s| s_to_y(s, self.z_ref)).collect()
             }
-            ParameterKind::Impedance => self.matrices.iter().map(|z| z.inverse().map_err(Into::into)).collect(),
+            ParameterKind::Impedance => {
+                self.matrices.iter().map(|z| z.inverse().map_err(Into::into)).collect()
+            }
         };
         NetworkData::new(self.grid.clone(), matrices?, ParameterKind::Admittance, self.z_ref)
     }
@@ -232,11 +236,8 @@ impl NetworkData {
             )));
         }
         // S_old -> Z (w.r.t. old reference) -> S_new (w.r.t. new reference).
-        let matrices: Result<Vec<CMat>> = self
-            .matrices
-            .iter()
-            .map(|s| z_to_s(&s_to_z(s, self.z_ref)?, new_z_ref))
-            .collect();
+        let matrices: Result<Vec<CMat>> =
+            self.matrices.iter().map(|s| z_to_s(&s_to_z(s, self.z_ref)?, new_z_ref)).collect();
         NetworkData::new(self.grid.clone(), matrices?, ParameterKind::Scattering, new_z_ref)
     }
 
@@ -249,7 +250,9 @@ impl NetworkData {
     /// range or the list is empty.
     pub fn select_ports(&self, ports: &[usize]) -> Result<NetworkData> {
         if ports.is_empty() {
-            return Err(RfDataError::Inconsistent("select_ports requires at least one port".into()));
+            return Err(RfDataError::Inconsistent(
+                "select_ports requires at least one port".into(),
+            ));
         }
         let p = self.ports();
         if let Some(&bad) = ports.iter().find(|&&i| i >= p) {
@@ -381,7 +384,8 @@ mod tests {
             -1.0
         )
         .is_err());
-        let ok = NetworkData::new(grid, vec![m.clone(), m], ParameterKind::Scattering, 50.0).unwrap();
+        let ok =
+            NetworkData::new(grid, vec![m.clone(), m], ParameterKind::Scattering, 50.0).unwrap();
         assert_eq!(ok.ports(), 2);
         assert_eq!(ok.len(), 2);
         assert!(!ok.is_empty());
@@ -452,13 +456,8 @@ mod tests {
         // that s_to_y of an open (S = +I) fails because I + S is singular...
         // Actually for S = +I (open), Y = 0 is fine; Z is singular.
         let grid = FrequencyGrid::from_hz(vec![1.0]).unwrap();
-        let open = NetworkData::new(
-            grid,
-            vec![CMat::identity(1)],
-            ParameterKind::Scattering,
-            50.0,
-        )
-        .unwrap();
+        let open = NetworkData::new(grid, vec![CMat::identity(1)], ParameterKind::Scattering, 50.0)
+            .unwrap();
         assert!(open.to_impedance().is_err());
         let y = open.to_admittance().unwrap();
         assert!(y.matrix(0)[(0, 0)].abs() < 1e-14);

@@ -149,7 +149,7 @@ mod tests {
     }
 
     #[test]
-    fn weighted_gramian_emphasizes_the_weighted_band(){
+    fn weighted_gramian_emphasizes_the_weighted_band() {
         // Element with a low-frequency pole; weight is a low-pass filter.
         // A low-pass weight must produce a larger (1,1) Gramian entry than a
         // high-pass weight of identical peak gain, because the element's

@@ -444,10 +444,34 @@ mod tests {
 
     #[test]
     fn construction_validation() {
-        assert!(StateSpace::new(Mat::zeros(2, 3), Mat::zeros(2, 1), Mat::zeros(1, 2), Mat::zeros(1, 1)).is_err());
-        assert!(StateSpace::new(Mat::identity(2), Mat::zeros(3, 1), Mat::zeros(1, 2), Mat::zeros(1, 1)).is_err());
-        assert!(StateSpace::new(Mat::identity(2), Mat::zeros(2, 1), Mat::zeros(1, 3), Mat::zeros(1, 1)).is_err());
-        assert!(StateSpace::new(Mat::identity(2), Mat::zeros(2, 1), Mat::zeros(1, 2), Mat::zeros(2, 2)).is_err());
+        assert!(StateSpace::new(
+            Mat::zeros(2, 3),
+            Mat::zeros(2, 1),
+            Mat::zeros(1, 2),
+            Mat::zeros(1, 1)
+        )
+        .is_err());
+        assert!(StateSpace::new(
+            Mat::identity(2),
+            Mat::zeros(3, 1),
+            Mat::zeros(1, 2),
+            Mat::zeros(1, 1)
+        )
+        .is_err());
+        assert!(StateSpace::new(
+            Mat::identity(2),
+            Mat::zeros(2, 1),
+            Mat::zeros(1, 3),
+            Mat::zeros(1, 1)
+        )
+        .is_err());
+        assert!(StateSpace::new(
+            Mat::identity(2),
+            Mat::zeros(2, 1),
+            Mat::zeros(1, 2),
+            Mat::zeros(2, 2)
+        )
+        .is_err());
     }
 
     #[test]

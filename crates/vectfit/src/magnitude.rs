@@ -141,7 +141,9 @@ pub fn fit_magnitude(
     let x_max = xs_raw.iter().fold(0.0_f64, |a, &b| a.max(b));
     let x_min_nz = xs_raw.iter().copied().filter(|&x| x > 0.0).fold(f64::INFINITY, f64::min);
     if !x_max.is_finite() || x_max == 0.0 || !x_min_nz.is_finite() {
-        return Err(VectFitError::InvalidInput("frequency samples must span a positive band".into()));
+        return Err(VectFitError::InvalidInput(
+            "frequency samples must span a positive band".into(),
+        ));
     }
 
     // Normalize the abscissa and the magnitude so the regression columns are
@@ -236,7 +238,9 @@ pub fn fit_magnitude(
         }
     }
     if ratios.is_empty() {
-        return Err(VectFitError::FitFailed("cannot determine the gain of the spectral factor".into()));
+        return Err(VectFitError::FitFailed(
+            "cannot determine the gain of the spectral factor".into(),
+        ));
     }
     ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let gain = ratios[ratios.len() / 2];
@@ -319,11 +323,7 @@ fn relocate_real_axis_poles(xs: &[f64], gs: &[f64], q: &[Complex64]) -> Result<V
 /// Residue identification with fixed x-domain poles. Returns the real
 /// coefficient vector (aligned with the real-pair basis) and the constant
 /// term.
-fn identify_real_axis_residues(
-    xs: &[f64],
-    gs: &[f64],
-    q: &[Complex64],
-) -> Result<(Vec<f64>, f64)> {
+fn identify_real_axis_residues(xs: &[f64], gs: &[f64], q: &[Complex64]) -> Result<(Vec<f64>, f64)> {
     let k_samples = xs.len();
     let n = q.len();
     let blocks = pole_blocks(q)?;
@@ -503,8 +503,7 @@ mod tests {
         // (stable) spectral factor was chosen; verify |Ξ̃| matches the data
         // and all poles are strictly in the LHP.
         let omegas = log_omegas(10.0, 1e7, 100);
-        let mags: Vec<f64> =
-            omegas.iter().map(|&w| 5.0 / ((w / 1e3) + 1.0) + 0.2).collect();
+        let mags: Vec<f64> = omegas.iter().map(|&w| 5.0 / ((w / 1e3) + 1.0) + 0.2).collect();
         let cfg = MagnitudeFitConfig { order: 4, n_iterations: 8, ..Default::default() };
         let xi = fit_magnitude(&omegas, &mags, &cfg).unwrap();
         assert!(xi.model().poles().iter().all(|p| p.re < 0.0));

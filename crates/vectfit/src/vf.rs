@@ -416,14 +416,12 @@ mod tests {
         let p1 = c(-2e4, 0.0);
         let p2 = c(-5e4, 3e5);
         let r1 = CMat::from_fn(2, 2, |i, j| c(1e4 * (1.0 + (i + j) as f64), 0.0));
-        let r2 = CMat::from_fn(2, 2, |i, j| c(2e4 - 1e3 * (i + j) as f64, 5e3 * (1 + i + j) as f64));
+        let r2 =
+            CMat::from_fn(2, 2, |i, j| c(2e4 - 1e3 * (i + j) as f64, 5e3 * (1 + i + j) as f64));
         let d = Mat::from_fn(2, 2, |i, j| if i == j { 0.3 } else { 0.05 });
-        let model = PoleResidueModel::new(
-            vec![p1, p2, p2.conj()],
-            vec![r1, r2.clone(), r2.conj()],
-            d,
-        )
-        .unwrap();
+        let model =
+            PoleResidueModel::new(vec![p1, p2, p2.conj()], vec![r1, r2.clone(), r2.conj()], d)
+                .unwrap();
         let data = model.sample(grid, ParameterKind::Scattering, 50.0).unwrap();
         (model, data)
     }
@@ -464,8 +462,7 @@ mod tests {
                 CMat::from_diag(&[base * skin.recip()])
             })
             .collect();
-        let data =
-            NetworkData::new(grid, mats, ParameterKind::Scattering, 50.0).unwrap();
+        let data = NetworkData::new(grid, mats, ParameterKind::Scattering, 50.0).unwrap();
         let cfg_lo = VfConfig { n_poles: 2, n_iterations: 5, ..VfConfig::default() };
         let cfg_hi = VfConfig { n_poles: 6, n_iterations: 5, ..VfConfig::default() };
         let e_lo = vector_fit(&data, None, &cfg_lo).unwrap().rms_error;
@@ -492,11 +489,8 @@ mod tests {
             })
             .collect();
         let data = NetworkData::new(grid.clone(), mats, ParameterKind::Scattering, 50.0).unwrap();
-        let weights: Vec<f64> = grid
-            .freqs_hz()
-            .iter()
-            .map(|&f| if f < 1e6 { 100.0 } else { 1.0 })
-            .collect();
+        let weights: Vec<f64> =
+            grid.freqs_hz().iter().map(|&f| if f < 1e6 { 100.0 } else { 1.0 }).collect();
         let cfg = VfConfig { n_poles: 2, n_iterations: 5, ..VfConfig::default() };
         let unweighted = vector_fit(&data, None, &cfg).unwrap();
         let weighted = vector_fit(&data, Some(&weights), &cfg).unwrap();
@@ -507,7 +501,9 @@ mod tests {
                 .zip(grid.omegas())
                 .filter(|(&f, _)| f < 1e6)
                 .map(|(_, w)| {
-                    (m.evaluate_at_omega(w).unwrap()[(0, 0)] - data.matrix(grid.nearest_index(w / (2.0 * std::f64::consts::PI)))[(0, 0)]).abs()
+                    (m.evaluate_at_omega(w).unwrap()[(0, 0)]
+                        - data.matrix(grid.nearest_index(w / (2.0 * std::f64::consts::PI)))[(0, 0)])
+                        .abs()
                 })
                 .fold(0.0_f64, f64::max)
         };
@@ -528,11 +524,8 @@ mod tests {
         assert!(vector_fit(&data, Some(&[1.0, 2.0]), &cfg).is_err());
         let bad_w = vec![-1.0; data.len()];
         assert!(vector_fit(&data, Some(&bad_w), &cfg).is_err());
-        let cfg = VfConfig {
-            initial_poles: Some(vec![c(-1.0, 0.0)]),
-            n_poles: 3,
-            ..VfConfig::default()
-        };
+        let cfg =
+            VfConfig { initial_poles: Some(vec![c(-1.0, 0.0)]), n_poles: 3, ..VfConfig::default() };
         assert!(vector_fit(&data, None, &cfg).is_err());
     }
 
@@ -548,7 +541,8 @@ mod tests {
                 Ok(m2)
             })
             .unwrap();
-        let cfg = VfConfig { n_poles: 3, n_iterations: 4, enforce_symmetry: true, ..VfConfig::default() };
+        let cfg =
+            VfConfig { n_poles: 3, n_iterations: 4, enforce_symmetry: true, ..VfConfig::default() };
         let fit = vector_fit(&data_vec, None, &cfg).unwrap();
         for r in fit.model.residues() {
             assert!((r[(0, 1)] - r[(1, 0)]).abs() < 1e-12);
@@ -581,7 +575,8 @@ mod tests {
             .map(|&w| CMat::from_diag(&[(Complex64::new(1e4, w)).recip() * 2e4]))
             .collect();
         let data = NetworkData::new(grid, mats, ParameterKind::Scattering, 50.0).unwrap();
-        let cfg = VfConfig { n_poles: 2, n_iterations: 4, fit_constant: false, ..VfConfig::default() };
+        let cfg =
+            VfConfig { n_poles: 2, n_iterations: 4, fit_constant: false, ..VfConfig::default() };
         let fit = vector_fit(&data, None, &cfg).unwrap();
         assert_eq!(fit.model.d().max_abs(), 0.0);
         assert!(fit.rms_error < 1e-8);

@@ -13,8 +13,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         scenario.observation_port,
         &FlowConfig::default(),
     )?;
-    println!("{:>12} {:>14} {:>14} {:>14} {:>14}",
-        "freq (Hz)", "|Z| nominal", "|Z| standard", "|Z| weighted", "|Z| final");
+    println!(
+        "{:>12} {:>14} {:>14} {:>14} {:>14}",
+        "freq (Hz)", "|Z| nominal", "|Z| standard", "|Z| weighted", "|Z| final"
+    );
     let n = report.nominal_impedance.freqs_hz.len();
     for k in (0..n).step_by((n / 24).max(1)) {
         println!(

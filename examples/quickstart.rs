@@ -20,24 +20,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         scenario.observation_port,
         &FlowConfig::default(),
     )?;
-    println!("standard fit   : S rms {:.3e}, target-impedance error {:.1}%",
+    println!(
+        "standard fit   : S rms {:.3e}, target-impedance error {:.1}%",
         report.standard_model_eval.scattering_rms_error,
-        100.0 * report.standard_model_eval.impedance_relative_error);
-    println!("weighted fit   : S rms {:.3e}, target-impedance error {:.1}%",
+        100.0 * report.standard_model_eval.impedance_relative_error
+    );
+    println!(
+        "weighted fit   : S rms {:.3e}, target-impedance error {:.1}%",
         report.weighted_model_eval.scattering_rms_error,
-        100.0 * report.weighted_model_eval.impedance_relative_error);
+        100.0 * report.weighted_model_eval.impedance_relative_error
+    );
     println!("sigma_max before enforcement: {:.6}", report.sigma_max_before);
     if let Some(out) = &report.weighted_enforcement {
-        println!("weighted enforcement: {} iterations, final sigma_max {:.6}",
-            out.iterations, out.report.sigma_max);
+        println!(
+            "weighted enforcement: {} iterations, final sigma_max {:.6}",
+            out.iterations, out.report.sigma_max
+        );
     } else {
         println!("weighted model was already passive");
     }
-    println!("final passive model: target-impedance error {:.1}%",
-        100.0 * report.weighted_passive_eval.impedance_relative_error);
+    println!(
+        "final passive model: target-impedance error {:.1}%",
+        100.0 * report.weighted_passive_eval.impedance_relative_error
+    );
     if let Some(std_eval) = &report.standard_passive_eval {
-        println!("standard-norm baseline: target-impedance error {:.1}%",
-            100.0 * std_eval.impedance_relative_error);
+        println!(
+            "standard-norm baseline: target-impedance error {:.1}%",
+            100.0 * std_eval.impedance_relative_error
+        );
     }
     Ok(())
 }

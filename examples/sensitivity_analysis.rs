@@ -18,20 +18,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &SensitivityOptions { trials: 32, ..Default::default() },
     )?;
     let omegas = sc.data.grid().omegas();
-    let (fo, fx): (Vec<f64>, Vec<f64>) = omegas
-        .iter()
-        .zip(&xi)
-        .filter(|(&w, _)| w > 0.0)
-        .map(|(&w, &x)| (w, x))
-        .unzip();
+    let (fo, fx): (Vec<f64>, Vec<f64>) =
+        omegas.iter().zip(&xi).filter(|(&w, _)| w > 0.0).map(|(&w, &x)| (w, x)).unzip();
     let model = fit_magnitude(&fo, &fx, &MagnitudeFitConfig { order: 8, ..Default::default() })?;
-    println!("{:>12} {:>14} {:>14} {:>14}", "freq (Hz)", "Xi analytic", "Xi MonteCarlo", "|Xi~| model");
+    println!(
+        "{:>12} {:>14} {:>14} {:>14}",
+        "freq (Hz)", "Xi analytic", "Xi MonteCarlo", "|Xi~| model"
+    );
     for (k, &f) in sc.data.grid().freqs_hz().iter().enumerate().step_by(8) {
         if f == 0.0 {
             continue;
         }
         let w = 2.0 * std::f64::consts::PI * f;
-        println!("{:>12.3e} {:>14.6e} {:>14.6e} {:>14.6e}", f, xi[k], mc[k], model.evaluate_magnitude(w)?);
+        println!(
+            "{:>12.3e} {:>14.6e} {:>14.6e} {:>14.6e}",
+            f,
+            xi[k],
+            mc[k],
+            model.evaluate_magnitude(w)?
+        );
     }
     Ok(())
 }

@@ -1,6 +1,48 @@
 //! Workspace root crate: re-exports the component crates so that the
 //! examples in `examples/` and the integration tests in `tests/` can use a
-//! single dependency. See the individual crates for the actual library API.
+//! single dependency. See the individual crates for the actual library API,
+//! `README.md` for the workspace layout, and `PAPER.md` for the algorithm
+//! the workspace reproduces.
+//!
+//! # Example
+//!
+//! A condensed version of the paper's flow — build the synthetic PDN
+//! scenario, extract the target-impedance sensitivity (eq. 5), run a
+//! sensitivity-weighted Vector Fit (eq. 3–4 with the weights of eq. 6), and
+//! assess the passivity of the resulting macromodel:
+//!
+//! ```
+//! use pim_repro::core_flow::StandardScenario;
+//! use pim_repro::passivity::check::assess;
+//! use pim_repro::pdn::analytic_sensitivity;
+//! use pim_repro::pdn::sensitivity::sensitivity_to_weights;
+//! use pim_repro::vectfit::{vector_fit, VfConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let scenario = StandardScenario::reduced()?;
+//!
+//! // Sensitivity of the target impedance to scattering perturbations.
+//! let xi = analytic_sensitivity(&scenario.data, &scenario.network, scenario.observation_port)?;
+//! let weights = sensitivity_to_weights(&xi, 1e-2)?;
+//!
+//! // Sensitivity-weighted Vector Fitting of the scattering data.
+//! let cfg = VfConfig { n_poles: 10, n_iterations: 3, ..VfConfig::default() };
+//! let fit = vector_fit(&scenario.data, Some(&weights), &cfg)?;
+//! assert!(fit.rms_error.is_finite() && fit.rms_error < 0.1);
+//!
+//! // Hamiltonian passivity assessment of the fitted macromodel.
+//! let report = assess(&fit.model, &scenario.data.grid().omegas())?;
+//! assert!(report.sigma_max > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The full flow — including the weighted residue-perturbation passivity
+//! enforcement — is wrapped by [`core_flow::run_flow`]
+//! (`cargo run --release --example quickstart`).
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
 
 pub use pim_circuit as circuit;
 pub use pim_core as core_flow;

@@ -5,7 +5,9 @@ use pim_repro::circuit::standard_board;
 use pim_repro::core_flow::{ScenarioConfig, StandardScenario};
 use pim_repro::passivity::check::assess;
 use pim_repro::pdn::{analytic_sensitivity, target_impedance};
-use pim_repro::rfdata::touchstone::{from_touchstone_string, to_touchstone_string, TouchstoneFormat};
+use pim_repro::rfdata::touchstone::{
+    from_touchstone_string, to_touchstone_string, TouchstoneFormat,
+};
 use pim_repro::rfdata::FrequencyGrid;
 use pim_repro::vectfit::{vector_fit, VfConfig};
 
