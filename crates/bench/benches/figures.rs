@@ -1,4 +1,9 @@
 //! Criterion benchmarks timing the computational kernels behind each figure.
+//!
+//! Besides the printed table, `cargo bench` writes a machine-readable
+//! `BENCH_PIM.json` (benchmark name → mean/min/max ns + sample count) into
+//! the working directory via the criterion shim's `criterion_main!`; see
+//! EXPERIMENTS.md for the `PIM_BENCH_JSON` / `PIM_BENCH_SAMPLES` knobs.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use pim_core::scenario::StandardScenario;

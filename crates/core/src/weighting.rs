@@ -160,7 +160,7 @@ mod tests {
         let norm = sensitivity_weighted_norm(&model, &flat_weight(1.0)).unwrap();
         assert_eq!(norm.ports(), 2);
         assert_eq!(norm.states(), 3);
-        let v = norm.evaluate(&vec![1e-3; 2 * 2 * 3]).unwrap();
+        let v = norm.evaluate(&[1e-3; 2 * 2 * 3]).unwrap();
         assert!(v > 0.0);
     }
 }

@@ -111,14 +111,63 @@ impl CMat {
         &self.data
     }
 
+    /// Mutable access to the underlying row-major storage.
+    pub fn as_mut_slice(&mut self) -> &mut [Complex64] {
+        &mut self.data
+    }
+
+    /// Returns row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    pub fn row(&self, i: usize) -> &[Complex64] {
+        assert!(i < self.rows, "row index out of bounds");
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable access to two distinct rows at once (used by the Givens
+    /// rotation kernels of the Hessenberg/Schur iterations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i == k` or either index is out of bounds.
+    pub fn two_rows_mut(&mut self, i: usize, k: usize) -> (&mut [Complex64], &mut [Complex64]) {
+        assert!(i != k && i < self.rows && k < self.rows, "two_rows_mut invalid row pair");
+        let cols = self.cols;
+        let (lo, hi) = if i < k { (i, k) } else { (k, i) };
+        let (head, tail) = self.data.split_at_mut(hi * cols);
+        let row_lo = &mut head[lo * cols..(lo + 1) * cols];
+        let row_hi = &mut tail[..cols];
+        if i < k {
+            (row_lo, row_hi)
+        } else {
+            (row_hi, row_lo)
+        }
+    }
+
     /// Returns column `j` as an owned `Vec`.
+    ///
+    /// Prefer [`CMat::col_iter`] in hot paths: it visits the same entries
+    /// without allocating.
     ///
     /// # Panics
     ///
     /// Panics if `j >= cols`.
     pub fn col(&self, j: usize) -> Vec<Complex64> {
+        self.col_iter(j).collect()
+    }
+
+    /// Strided, allocation-free iterator over column `j` (top to bottom).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= cols`.
+    pub fn col_iter(&self, j: usize) -> impl ExactSizeIterator<Item = Complex64> + '_ {
         assert!(j < self.cols, "column index out of bounds");
-        (0..self.rows).map(|i| self[(i, j)]).collect()
+        // `get` keeps the zero-row case (empty backing storage) a valid,
+        // empty iterator instead of an out-of-range slice panic.
+        self.data.get(j..).unwrap_or(&[]).iter().step_by(self.cols).copied()
     }
 
     /// Transpose (without conjugation).
@@ -138,11 +187,71 @@ impl CMat {
 
     /// Matrix product `self · rhs`.
     ///
+    /// Computed by the same cache-blocked `axpy` kernel as
+    /// [`Mat::matmul_into`](crate::Mat::matmul_into); use [`CMat::matmul_into`]
+    /// to reuse an output buffer.
+    ///
     /// # Errors
     ///
     /// Returns [`LinalgError::DimensionMismatch`] when the inner dimensions
     /// disagree.
     pub fn matmul(&self, rhs: &CMat) -> Result<CMat> {
+        let mut out = CMat::zeros(self.rows, rhs.cols);
+        self.matmul_into(rhs, &mut out)?;
+        Ok(out)
+    }
+
+    /// Matrix product `self · rhs` written into a caller-provided output
+    /// matrix (overwritten), avoiding the allocation of [`CMat::matmul`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when the inner dimensions
+    /// disagree or `out` has the wrong shape.
+    pub fn matmul_into(&self, rhs: &CMat, out: &mut CMat) -> Result<()> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::DimensionMismatch {
+                context: "CMat::matmul",
+                left: self.shape(),
+                right: rhs.shape(),
+            });
+        }
+        if out.shape() != (self.rows, rhs.cols) {
+            return Err(LinalgError::DimensionMismatch {
+                context: "CMat::matmul_into output",
+                left: (self.rows, rhs.cols),
+                right: out.shape(),
+            });
+        }
+        out.data.fill(Complex64::ZERO);
+        let (k_dim, n) = rhs.shape();
+        if n == 0 || k_dim == 0 {
+            return Ok(());
+        }
+        const KC: usize = 32;
+        for kb in (0..k_dim).step_by(KC) {
+            let k_end = (kb + KC).min(k_dim);
+            for (a_row, out_row) in
+                self.data.chunks_exact(self.cols).zip(out.data.chunks_exact_mut(n))
+            {
+                for (k, &aik) in a_row[kb..k_end].iter().enumerate() {
+                    if aik == Complex64::ZERO {
+                        continue;
+                    }
+                    let b_row = &rhs.data[(kb + k) * n..(kb + k + 1) * n];
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o += aik * b;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Reference (naive triple-loop) product used as the oracle for the
+    /// blocked kernel in tests.
+    #[cfg(test)]
+    pub(crate) fn matmul_naive(&self, rhs: &CMat) -> Result<CMat> {
         if self.cols != rhs.rows {
             return Err(LinalgError::DimensionMismatch {
                 context: "CMat::matmul",
@@ -154,9 +263,6 @@ impl CMat {
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let aik = self[(i, k)];
-                if aik == Complex64::ZERO {
-                    continue;
-                }
                 for j in 0..rhs.cols {
                     out[(i, j)] += aik * rhs[(k, j)];
                 }
@@ -192,10 +298,15 @@ impl CMat {
     /// Scales every entry by `k`, returning a new matrix.
     pub fn scaled(&self, k: Complex64) -> CMat {
         let mut out = self.clone();
-        for v in &mut out.data {
+        out.scale_in_place(k);
+        out
+    }
+
+    /// Scales every entry by `k` in place (no allocation).
+    pub fn scale_in_place(&mut self, k: Complex64) {
+        for v in &mut self.data {
             *v *= k;
         }
-        out
     }
 
     /// Scales every entry by a real factor, returning a new matrix.
@@ -444,6 +555,50 @@ mod tests {
         let aah = a.matmul(&a.hermitian()).unwrap();
         assert!(aah.is_hermitian(1e-14));
         assert!(a.matmul(&CMat::zeros(3, 3)).is_err());
+    }
+
+    #[test]
+    fn blocked_matmul_matches_naive_oracle() {
+        for &(m, k, n) in &[(1, 1, 1), (2, 33, 5), (9, 40, 9), (7, 65, 3)] {
+            let a = CMat::from_fn(m, k, |i, j| {
+                c(((i * 31 + j * 17) % 13) as f64 - 6.0, ((i + 2 * j) % 5) as f64)
+            });
+            let b = CMat::from_fn(k, n, |i, j| {
+                c(((i * 7 + j * 29) % 11) as f64 - 5.0, ((3 * i + j) % 7) as f64 - 3.0)
+            });
+            let fast = a.matmul(&b).unwrap();
+            let slow = a.matmul_naive(&b).unwrap();
+            assert!(fast.max_abs_diff(&slow) < 1e-12, "mismatch for {m}x{k}x{n}");
+        }
+        // Degenerate shapes produce empty results, not a panic.
+        let empty = CMat::zeros(2, 3).matmul(&CMat::zeros(3, 0)).unwrap();
+        assert_eq!(empty.shape(), (2, 0));
+        let zero_k = CMat::zeros(2, 0).matmul(&CMat::zeros(0, 3)).unwrap();
+        assert_eq!(zero_k.shape(), (2, 3));
+        assert_eq!(zero_k.max_abs(), 0.0);
+    }
+
+    #[test]
+    fn col_iter_two_rows_mut_and_scale_in_place() {
+        let a = CMat::from_rows(&[&[c(1.0, 0.0), c(2.0, 1.0)], &[c(3.0, -1.0), c(4.0, 0.0)]]);
+        let col: Vec<Complex64> = a.col_iter(1).collect();
+        assert_eq!(col, vec![c(2.0, 1.0), c(4.0, 0.0)]);
+        assert_eq!(a.row(1), &[c(3.0, -1.0), c(4.0, 0.0)]);
+        let mut b = a.clone();
+        {
+            let (r1, r0) = b.two_rows_mut(1, 0);
+            assert_eq!(r0[0], c(1.0, 0.0));
+            assert_eq!(r1[0], c(3.0, -1.0));
+            r1[0] = c(9.0, 9.0);
+        }
+        assert_eq!(b[(1, 0)], c(9.0, 9.0));
+        let mut s = a.clone();
+        s.scale_in_place(c(0.0, 1.0));
+        assert!(s.max_abs_diff(&a.scaled(c(0.0, 1.0))) < 1e-15);
+        // Zero-row matrices yield empty columns, not a slice panic.
+        let empty = CMat::zeros(0, 2);
+        assert_eq!(empty.col_iter(1).len(), 0);
+        assert!(empty.col(1).is_empty());
     }
 
     #[test]

@@ -356,7 +356,7 @@ mod tests {
 
     #[test]
     fn sum_iterator() {
-        let v = vec![Complex64::new(1.0, 1.0); 4];
+        let v = [Complex64::new(1.0, 1.0); 4];
         let s: Complex64 = v.iter().sum();
         assert!(close(s, Complex64::new(4.0, 4.0)));
     }

@@ -1,7 +1,7 @@
 //! Eigenvalue computations built on top of the Schur decomposition, plus a
 //! cyclic Jacobi eigensolver for real symmetric matrices.
 
-use crate::schur::{complex_schur, real_to_complex_schur};
+use crate::schur::complex_schur_eigenvalues;
 use crate::{CMat, Complex64, LinalgError, Mat, Result};
 
 /// Eigenvalues of a real square matrix (possibly complex, returned as
@@ -22,7 +22,11 @@ use crate::{CMat, Complex64, LinalgError, Mat, Result};
 /// # }
 /// ```
 pub fn eigenvalues(a: &Mat) -> Result<Vec<Complex64>> {
-    Ok(real_to_complex_schur(a)?.eigenvalues())
+    // Hessenberg reduction in real arithmetic (a quarter of the complex
+    // flops, identical result on real input), then the eigenvalue-only
+    // complex QR iteration directly on the reduced form.
+    let h = crate::hessenberg::hessenberg_real_h_only(a)?;
+    crate::schur::hessenberg_eigenvalues(h.to_complex())
 }
 
 /// Eigenvalues of a complex square matrix.
@@ -31,7 +35,7 @@ pub fn eigenvalues(a: &Mat) -> Result<Vec<Complex64>> {
 ///
 /// See [`complex_schur`](crate::schur::complex_schur).
 pub fn eigenvalues_complex(a: &CMat) -> Result<Vec<Complex64>> {
-    Ok(complex_schur(a)?.eigenvalues())
+    complex_schur_eigenvalues(a)
 }
 
 /// Spectral radius (largest eigenvalue magnitude) of a real square matrix.

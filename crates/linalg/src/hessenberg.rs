@@ -1,7 +1,7 @@
 //! Reduction of a complex square matrix to upper Hessenberg form by a unitary
 //! similarity transformation, used as the first stage of the Schur iteration.
 
-use crate::{CMat, Complex64, LinalgError, Result};
+use crate::{CMat, Complex64, LinalgError, Mat, Result};
 
 /// A complex Givens rotation acting on a pair of rows/columns.
 ///
@@ -36,22 +36,27 @@ impl Givens {
     /// Applies the rotation to rows `i` and `k` of `m` (left multiplication),
     /// over columns `col_from..col_to`.
     pub fn apply_left(&self, m: &mut CMat, i: usize, k: usize, col_from: usize, col_to: usize) {
-        for j in col_from..col_to {
-            let a = m[(i, j)];
-            let b = m[(k, j)];
-            m[(i, j)] = a.scale(self.c) + self.s * b;
-            m[(k, j)] = b.scale(self.c) - self.s.conj() * a;
+        let (c, s) = (self.c, self.s);
+        let sc = s.conj();
+        let (row_i, row_k) = m.two_rows_mut(i, k);
+        for (a, b) in row_i[col_from..col_to].iter_mut().zip(&mut row_k[col_from..col_to]) {
+            let (va, vb) = (*a, *b);
+            *a = va.scale(c) + s * vb;
+            *b = vb.scale(c) - sc * va;
         }
     }
 
     /// Applies the conjugate-transposed rotation to columns `i` and `k` of `m`
     /// (right multiplication by `Gᴴ`), over rows `row_from..row_to`.
     pub fn apply_right(&self, m: &mut CMat, i: usize, k: usize, row_from: usize, row_to: usize) {
-        for r in row_from..row_to {
-            let a = m[(r, i)];
-            let b = m[(r, k)];
-            m[(r, i)] = a.scale(self.c) + self.s.conj() * b;
-            m[(r, k)] = b.scale(self.c) - self.s * a;
+        let (c, s) = (self.c, self.s);
+        let sc = s.conj();
+        let cols = m.cols();
+        let data = m.as_mut_slice();
+        for row in data[row_from * cols..row_to * cols].chunks_exact_mut(cols) {
+            let (a, b) = (row[i], row[k]);
+            row[i] = a.scale(c) + sc * b;
+            row[k] = b.scale(c) - s * a;
         }
     }
 }
@@ -87,14 +92,94 @@ pub struct Hessenberg {
 /// # }
 /// ```
 pub fn hessenberg(a: &CMat) -> Result<Hessenberg> {
+    let mut q = CMat::identity(a.rows().max(a.cols()));
+    let h = reduce(a, Some(&mut q))?;
+    Ok(Hessenberg { h, q })
+}
+
+/// Reduces `a` to upper Hessenberg form **without** accumulating the unitary
+/// transformation — the cheaper entry point for eigenvalue-only callers (the
+/// similarity factor is never needed to read eigenvalues off the Schur form).
+///
+/// # Errors
+///
+/// Returns [`LinalgError::NotSquare`] when `a` is not square.
+pub fn hessenberg_h_only(a: &CMat) -> Result<CMat> {
+    reduce(a, None)
+}
+
+/// Reduces a **real** square matrix to upper Hessenberg form in real
+/// arithmetic, without accumulating the orthogonal transformation.
+///
+/// Real Givens rotations cost a quarter of the complex flops, and on real
+/// input the rotation parameters and every update match the complex kernel
+/// exactly (all imaginary parts are identically zero there), so feeding the
+/// result into the complex QR iteration yields the same eigenvalues as the
+/// all-complex pipeline — this is the fast first stage behind
+/// [`crate::eig::eigenvalues`] for real matrices such as the Hamiltonian
+/// passivity test matrices.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::NotSquare`] when `a` is not square.
+pub fn hessenberg_real_h_only(a: &Mat) -> Result<Mat> {
     if !a.is_square() {
         return Err(LinalgError::NotSquare { context: "hessenberg", dims: a.shape() });
     }
     let n = a.rows();
     let mut h = a.clone();
-    let mut q = CMat::identity(n);
     if n <= 2 {
-        return Ok(Hessenberg { h, q });
+        return Ok(h);
+    }
+    for k in 0..(n - 2) {
+        for i in ((k + 2)..n).rev() {
+            let y = h[(i, k)];
+            if y == 0.0 {
+                continue;
+            }
+            let x = h[(i - 1, k)];
+            // Rotation parameters mirroring Givens::compute on real input.
+            let (c, s) = if x == 0.0 {
+                (0.0, y * (1.0 / y.abs()))
+            } else {
+                let xa = x.abs();
+                let norm = xa.hypot(y.abs());
+                (xa / norm, (x * (1.0 / xa)) * (y * (1.0 / norm)))
+            };
+            // Left application to rows i-1, i over columns k..n.
+            {
+                let data = h.as_mut_slice();
+                let (top, bottom) = data.split_at_mut(i * n);
+                let row_a = &mut top[(i - 1) * n + k..i * n];
+                let row_b = &mut bottom[k..n];
+                for (a, b) in row_a.iter_mut().zip(row_b.iter_mut()) {
+                    let (va, vb) = (*a, *b);
+                    *a = va * c + s * vb;
+                    *b = vb * c - s * va;
+                }
+            }
+            h[(i, k)] = 0.0;
+            // Right application to columns i-1, i over all rows.
+            let data = h.as_mut_slice();
+            for row in data.chunks_exact_mut(n) {
+                let (va, vb) = (row[i - 1], row[i]);
+                row[i - 1] = va * c + s * vb;
+                row[i] = vb * c - s * va;
+            }
+        }
+    }
+    Ok(h)
+}
+
+/// Shared reduction kernel; accumulates the rotations into `q` when given.
+fn reduce(a: &CMat, mut q: Option<&mut CMat>) -> Result<CMat> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare { context: "hessenberg", dims: a.shape() });
+    }
+    let n = a.rows();
+    let mut h = a.clone();
+    if n <= 2 {
+        return Ok(h);
     }
     for k in 0..(n - 2) {
         for i in ((k + 2)..n).rev() {
@@ -105,10 +190,12 @@ pub fn hessenberg(a: &CMat) -> Result<Hessenberg> {
             g.apply_left(&mut h, i - 1, i, k, n);
             h[(i, k)] = Complex64::ZERO;
             g.apply_right(&mut h, i - 1, i, 0, n);
-            g.apply_right(&mut q, i - 1, i, 0, n);
+            if let Some(q) = q.as_deref_mut() {
+                g.apply_right(q, i - 1, i, 0, n);
+            }
         }
     }
-    Ok(Hessenberg { h, q })
+    Ok(h)
 }
 
 #[cfg(test)]
@@ -172,6 +259,34 @@ mod tests {
     #[test]
     fn rejects_non_square() {
         assert!(hessenberg(&CMat::zeros(2, 3)).is_err());
+        assert!(hessenberg_h_only(&CMat::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn real_reduction_matches_complex_kernel_bitwise() {
+        for n in [1usize, 2, 4, 9, 16] {
+            let mut state = 77 + n as u64;
+            let mut next = move || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) as f64) / (u32::MAX as f64) - 0.5
+            };
+            let a = Mat::from_fn(n, n, |_, _| next());
+            let h_real = hessenberg_real_h_only(&a).unwrap();
+            let h_cplx = hessenberg_h_only(&a.to_complex()).unwrap();
+            assert!(h_cplx.imag().max_abs() == 0.0, "imaginary drift for n={n}");
+            assert!(h_real.max_abs_diff(&h_cplx.real()) == 0.0, "real drift for n={n}");
+        }
+        assert!(hessenberg_real_h_only(&Mat::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn h_only_reduction_matches_full_reduction() {
+        for n in [1usize, 3, 7, 11] {
+            let a = random_like(n, 9 + n as u64);
+            let full = hessenberg(&a).unwrap();
+            let h = hessenberg_h_only(&a).unwrap();
+            assert!(h.max_abs_diff(&full.h) == 0.0, "H drift for n={n}");
+        }
     }
 
     #[test]

@@ -55,13 +55,17 @@ impl Lu {
                 perm.swap(k, p);
                 sign = -sign;
             }
-            let pivot = lu[(k, k)];
-            for i in (k + 1)..n {
-                let factor = lu[(i, k)] / pivot;
-                lu[(i, k)] = factor;
-                for j in (k + 1)..n {
-                    let delta = factor * lu[(k, j)];
-                    lu[(i, j)] -= delta;
+            // Rank-1 update of the trailing block, row by row on contiguous
+            // slices (the pivot row and each target row are disjoint).
+            let data = lu.as_mut_slice();
+            let (top, bottom) = data.split_at_mut((k + 1) * n);
+            let pivot_row = &top[k * n + k..(k + 1) * n];
+            let pivot = pivot_row[0];
+            for row in bottom.chunks_exact_mut(n) {
+                let factor = row[k] / pivot;
+                row[k] = factor;
+                for (r, &p) in row[(k + 1)..].iter_mut().zip(&pivot_row[1..]) {
+                    *r -= factor * p;
                 }
             }
         }
@@ -89,20 +93,32 @@ impl Lu {
             });
         }
         let mut x: Vec<f64> = (0..n).map(|i| b[self.perm[i]]).collect();
+        self.substitute(&mut x);
+        Ok(x)
+    }
+
+    /// Forward/back substitution on a permuted right-hand side (in place).
+    fn substitute(&self, x: &mut [f64]) {
+        let n = self.dim();
+        let lu = self.lu.as_slice();
         // Forward substitution with unit lower-triangular L.
         for i in 0..n {
-            for j in 0..i {
-                x[i] -= self.lu[(i, j)] * x[j];
+            let row = &lu[i * n..i * n + i];
+            let mut acc = x[i];
+            for (l, &xj) in row.iter().zip(x.iter()) {
+                acc -= l * xj;
             }
+            x[i] = acc;
         }
         // Back substitution with U.
         for i in (0..n).rev() {
+            let row = &lu[i * n..(i + 1) * n];
+            let mut acc = x[i];
             for j in (i + 1)..n {
-                x[i] -= self.lu[(i, j)] * x[j];
+                acc -= row[j] * x[j];
             }
-            x[i] /= self.lu[(i, i)];
+            x[i] = acc / row[i];
         }
-        Ok(x)
     }
 
     /// Solves `A·X = B` for a matrix right-hand side.
@@ -120,8 +136,13 @@ impl Lu {
             });
         }
         let mut x = Mat::zeros(n, b.cols());
+        let mut col = vec![0.0; n];
         for j in 0..b.cols() {
-            let col = self.solve_vec(&b.col(j))?;
+            // Gather the permuted column without an extra allocation.
+            for (i, dst) in col.iter_mut().enumerate() {
+                *dst = b[(self.perm[i], j)];
+            }
+            self.substitute(&mut col);
             for i in 0..n {
                 x[(i, j)] = col[i];
             }
@@ -218,13 +239,16 @@ impl CLu {
                 }
                 perm.swap(k, p);
             }
-            let pivot = lu[(k, k)];
-            for i in (k + 1)..n {
-                let factor = lu[(i, k)] / pivot;
-                lu[(i, k)] = factor;
-                for j in (k + 1)..n {
-                    let delta = factor * lu[(k, j)];
-                    lu[(i, j)] -= delta;
+            // Rank-1 update of the trailing block on contiguous row slices.
+            let data = lu.as_mut_slice();
+            let (top, bottom) = data.split_at_mut((k + 1) * n);
+            let pivot_row = &top[k * n + k..(k + 1) * n];
+            let pivot = pivot_row[0];
+            for row in bottom.chunks_exact_mut(n) {
+                let factor = row[k] / pivot;
+                row[k] = factor;
+                for (r, &p) in row[(k + 1)..].iter_mut().zip(&pivot_row[1..]) {
+                    *r -= factor * p;
                 }
             }
         }
@@ -252,20 +276,30 @@ impl CLu {
             });
         }
         let mut x: Vec<Complex64> = (0..n).map(|i| b[self.perm[i]]).collect();
+        self.substitute(&mut x);
+        Ok(x)
+    }
+
+    /// Forward/back substitution on a permuted right-hand side (in place).
+    fn substitute(&self, x: &mut [Complex64]) {
+        let n = self.dim();
+        let lu = self.lu.as_slice();
         for i in 0..n {
-            for j in 0..i {
-                let d = self.lu[(i, j)] * x[j];
-                x[i] -= d;
+            let row = &lu[i * n..i * n + i];
+            let mut acc = x[i];
+            for (l, &xj) in row.iter().zip(x.iter()) {
+                acc -= *l * xj;
             }
+            x[i] = acc;
         }
         for i in (0..n).rev() {
+            let row = &lu[i * n..(i + 1) * n];
+            let mut acc = x[i];
             for j in (i + 1)..n {
-                let d = self.lu[(i, j)] * x[j];
-                x[i] -= d;
+                acc -= row[j] * x[j];
             }
-            x[i] = x[i] / self.lu[(i, i)];
+            x[i] = acc / row[i];
         }
-        Ok(x)
     }
 
     /// Solves `A·X = B` for a matrix right-hand side.
@@ -283,8 +317,12 @@ impl CLu {
             });
         }
         let mut x = CMat::zeros(n, b.cols());
+        let mut col = vec![Complex64::ZERO; n];
         for j in 0..b.cols() {
-            let col = self.solve_vec(&b.col(j))?;
+            for (i, dst) in col.iter_mut().enumerate() {
+                *dst = b[(self.perm[i], j)];
+            }
+            self.substitute(&mut col);
             for i in 0..n {
                 x[(i, j)] = col[i];
             }

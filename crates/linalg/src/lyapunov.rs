@@ -42,20 +42,23 @@ pub fn solve_sylvester_complex(a: &CMat, b: &CMat, c: &CMat) -> Result<CMat> {
     // Transform the right-hand side: C~ = U_A^H · C · U_B.
     let ct = sa.u.hermitian().matmul(c)?.matmul(&sb.u)?;
 
-    // Solve T_A·Y + Y·T_B = C~ column by column (both factors upper triangular).
+    // Solve T_A·Y + Y·T_B = C~ column by column (both factors upper
+    // triangular); the right-hand-side buffer is reused across columns.
     let mut y = CMat::zeros(n, m);
     let scale = ta.max_abs().max(tb.max_abs()).max(f64::MIN_POSITIVE);
+    let mut rhs = vec![Complex64::ZERO; n];
     for k in 0..m {
         // Right-hand side for column k: c~_k − Σ_{j<k} T_B[j,k]·y_j.
-        let mut rhs: Vec<Complex64> = (0..n).map(|i| ct[(i, k)]).collect();
+        for (dst, src) in rhs.iter_mut().zip(ct.col_iter(k)) {
+            *dst = src;
+        }
         for j in 0..k {
             let t_jk = tb[(j, k)];
             if t_jk.abs() == 0.0 {
                 continue;
             }
-            for i in 0..n {
-                let d = t_jk * y[(i, j)];
-                rhs[i] -= d;
+            for (r, yij) in rhs.iter_mut().zip(y.col_iter(j)) {
+                *r -= t_jk * yij;
             }
         }
         // Back substitution with the upper-triangular matrix T_A + T_B[k,k]·I.
@@ -125,10 +128,17 @@ pub fn solve_lyapunov(a: &Mat, q: &Mat) -> Result<Mat> {
             right: q.shape(),
         });
     }
-    let x = solve_sylvester(a, &a.transpose(), &q.scaled(-1.0))?;
-    // Symmetrize.
+    let mut x = solve_sylvester(a, &a.transpose(), &q.scaled(-1.0))?;
+    // Symmetrize in place.
     let n = x.rows();
-    Ok(Mat::from_fn(n, n, |i, j| 0.5 * (x[(i, j)] + x[(j, i)])))
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let avg = 0.5 * (x[(i, j)] + x[(j, i)]);
+            x[(i, j)] = avg;
+            x[(j, i)] = avg;
+        }
+    }
+    Ok(x)
 }
 
 /// Controllability Gramian `P` of the pair `(A, B)`: the solution of

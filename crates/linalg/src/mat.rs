@@ -139,12 +139,38 @@ impl Mat {
 
     /// Returns column `j` as an owned `Vec`.
     ///
+    /// Prefer [`Mat::col_iter`] in hot paths: it visits the same entries
+    /// without allocating.
+    ///
     /// # Panics
     ///
     /// Panics if `j >= cols`.
     pub fn col(&self, j: usize) -> Vec<f64> {
+        self.col_iter(j).collect()
+    }
+
+    /// Strided, allocation-free iterator over column `j` (top to bottom).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= cols`.
+    pub fn col_iter(&self, j: usize) -> impl ExactSizeIterator<Item = f64> + '_ {
         assert!(j < self.cols, "column index out of bounds");
-        (0..self.rows).map(|i| self[(i, j)]).collect()
+        // `get` keeps the zero-row case (empty backing storage) a valid,
+        // empty iterator instead of an out-of-range slice panic.
+        self.data.get(j..).unwrap_or(&[]).iter().step_by(self.cols).copied()
+    }
+
+    /// Copies column `j` into `out` (which must hold exactly `rows` entries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= cols` or `out.len() != rows`.
+    pub fn copy_col_into(&self, j: usize, out: &mut [f64]) {
+        assert_eq!(out.len(), self.rows, "copy_col_into length mismatch");
+        for (dst, src) in out.iter_mut().zip(self.col_iter(j)) {
+            *dst = src;
+        }
     }
 
     /// Transpose.
@@ -160,11 +186,79 @@ impl Mat {
 
     /// Matrix product `self · rhs`.
     ///
+    /// The product is computed by a cache-blocked kernel operating on
+    /// contiguous row panels (see [`Mat::matmul_into`]); use the in-place
+    /// variant to reuse an output buffer across repeated products.
+    ///
     /// # Errors
     ///
     /// Returns [`LinalgError::DimensionMismatch`] when the inner dimensions
     /// disagree.
     pub fn matmul(&self, rhs: &Mat) -> Result<Mat> {
+        let mut out = Mat::zeros(self.rows, rhs.cols);
+        self.matmul_into(rhs, &mut out)?;
+        Ok(out)
+    }
+
+    /// Matrix product `self · rhs` written into a caller-provided output
+    /// matrix (overwritten), avoiding the allocation of [`Mat::matmul`].
+    ///
+    /// The kernel walks `self` row by row and accumulates scaled rows of
+    /// `rhs` into the output row (an `axpy` formulation: every output entry
+    /// has its own accumulator, so the inner loop vectorizes), blocking the
+    /// inner dimension so the touched panel of `rhs` stays cache-resident.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when the inner dimensions
+    /// disagree or `out` has the wrong shape.
+    pub fn matmul_into(&self, rhs: &Mat, out: &mut Mat) -> Result<()> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::DimensionMismatch {
+                context: "Mat::matmul",
+                left: self.shape(),
+                right: rhs.shape(),
+            });
+        }
+        if out.shape() != (self.rows, rhs.cols) {
+            return Err(LinalgError::DimensionMismatch {
+                context: "Mat::matmul_into output",
+                left: (self.rows, rhs.cols),
+                right: out.shape(),
+            });
+        }
+        out.data.fill(0.0);
+        let (k_dim, n) = rhs.shape();
+        if n == 0 || k_dim == 0 {
+            return Ok(());
+        }
+        // Panel sizes: KC rows of `rhs` (the k-panel) are streamed per output
+        // row; blocking k keeps that panel in L1/L2 while every output row
+        // revisits it.
+        const KC: usize = 64;
+        for kb in (0..k_dim).step_by(KC) {
+            let k_end = (kb + KC).min(k_dim);
+            for (a_row, out_row) in
+                self.data.chunks_exact(self.cols).zip(out.data.chunks_exact_mut(n))
+            {
+                for (k, &aik) in a_row[kb..k_end].iter().enumerate() {
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let b_row = &rhs.data[(kb + k) * n..(kb + k + 1) * n];
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o += aik * b;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Reference (naive triple-loop) product used as the oracle for the
+    /// blocked kernel in tests.
+    #[cfg(test)]
+    pub(crate) fn matmul_naive(&self, rhs: &Mat) -> Result<Mat> {
         if self.cols != rhs.rows {
             return Err(LinalgError::DimensionMismatch {
                 context: "Mat::matmul",
@@ -176,9 +270,6 @@ impl Mat {
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let aik = self[(i, k)];
-                if aik == 0.0 {
-                    continue;
-                }
                 for j in 0..rhs.cols {
                     out[(i, j)] += aik * rhs[(k, j)];
                 }
@@ -201,12 +292,8 @@ impl Mat {
             });
         }
         let mut out = vec![0.0; self.rows];
-        for i in 0..self.rows {
-            let mut acc = 0.0;
-            for j in 0..self.cols {
-                acc += self[(i, j)] * v[j];
-            }
-            out[i] = acc;
+        for (o, row) in out.iter_mut().zip(self.data.chunks_exact(self.cols.max(1))) {
+            *o = row.iter().zip(v).map(|(a, b)| a * b).sum();
         }
         Ok(out)
     }
@@ -214,10 +301,15 @@ impl Mat {
     /// Scales every entry by `k`, returning a new matrix.
     pub fn scaled(&self, k: f64) -> Mat {
         let mut out = self.clone();
-        for v in &mut out.data {
+        out.scale_in_place(k);
+        out
+    }
+
+    /// Scales every entry by `k` in place (no allocation).
+    pub fn scale_in_place(&mut self, k: f64) {
+        for v in &mut self.data {
             *v *= k;
         }
-        out
     }
 
     /// Sum of diagonal entries.
@@ -504,6 +596,53 @@ mod tests {
         assert_eq!(v, vec![3.0, 7.0]);
         assert!(a.matmul(&Mat::zeros(3, 3)).is_err());
         assert!(a.matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn blocked_matmul_matches_naive_oracle() {
+        // Exercise sizes around the KC=64 panel boundary plus odd shapes.
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 2), (17, 64, 9), (10, 65, 130), (33, 200, 7)] {
+            let a = Mat::from_fn(m, k, |i, j| ((i * 31 + j * 17) % 13) as f64 - 6.0);
+            let b = Mat::from_fn(k, n, |i, j| ((i * 7 + j * 29) % 11) as f64 - 5.0);
+            let fast = a.matmul(&b).unwrap();
+            let slow = a.matmul_naive(&b).unwrap();
+            assert!(fast.max_abs_diff(&slow) < 1e-12, "mismatch for {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn matmul_into_reuses_buffer_and_validates_shape() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Mat::identity(2);
+        let mut out = Mat::filled(2, 2, 99.0);
+        a.matmul_into(&b, &mut out).unwrap();
+        assert!(out.max_abs_diff(&a) < 1e-15);
+        let mut wrong = Mat::zeros(3, 2);
+        assert!(a.matmul_into(&b, &mut wrong).is_err());
+        // Degenerate shapes produce empty results, not a panic.
+        let empty = Mat::zeros(2, 3).matmul(&Mat::zeros(3, 0)).unwrap();
+        assert_eq!(empty.shape(), (2, 0));
+        let zero_k = Mat::zeros(2, 0).matmul(&Mat::zeros(0, 3)).unwrap();
+        assert_eq!(zero_k.shape(), (2, 3));
+        assert_eq!(zero_k.max_abs(), 0.0);
+    }
+
+    #[test]
+    fn col_iter_and_scale_in_place() {
+        let a = Mat::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let col: Vec<f64> = a.col_iter(2).collect();
+        assert_eq!(col, vec![3.0, 6.0]);
+        assert_eq!(a.col_iter(0).len(), 2);
+        let mut buf = [0.0; 2];
+        a.copy_col_into(1, &mut buf);
+        assert_eq!(buf, [2.0, 5.0]);
+        let mut b = a.clone();
+        b.scale_in_place(2.0);
+        assert!(b.max_abs_diff(&a.scaled(2.0)) < 1e-15);
+        // Zero-row matrices yield empty columns, not a slice panic.
+        let empty = Mat::zeros(0, 3);
+        assert_eq!(empty.col_iter(2).len(), 0);
+        assert!(empty.col(1).is_empty());
     }
 
     #[test]

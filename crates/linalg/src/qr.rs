@@ -12,14 +12,66 @@ use crate::{LinalgError, Mat, Result};
 /// The factor `R` (upper triangular `n × n`) and the Householder reflectors
 /// are stored compactly; [`QrFactor::solve_least_squares`] applies the
 /// reflectors to a right-hand side and back-substitutes.
+///
+/// The packed factorization is stored **column-major**: the Householder
+/// elimination and the reflector applications walk whole columns, so this
+/// layout makes every inner loop a contiguous slice operation (the dominant
+/// cost of the Vector Fitting regression solves).
 #[derive(Debug, Clone)]
 pub struct QrFactor {
-    /// Packed factorization: R in the upper triangle, reflector vectors below.
-    qr: Mat,
+    /// Packed factorization, column-major (`column j` at `j*rows..(j+1)*rows`):
+    /// R in the upper triangle, reflector vectors below.
+    qr: Vec<f64>,
     /// Scalar coefficients of the Householder reflectors.
     tau: Vec<f64>,
     rows: usize,
     cols: usize,
+}
+
+/// Dot product with four independent accumulators, so the reduction
+/// vectorizes despite strict floating-point evaluation order per lane.
+#[inline]
+fn dot4(a: &[f64], b: &[f64]) -> f64 {
+    let mut acc = [0.0_f64; 4];
+    let chunks = a.len() / 4;
+    for i in 0..chunks {
+        let (x, y) = (&a[4 * i..4 * i + 4], &b[4 * i..4 * i + 4]);
+        acc[0] += x[0] * y[0];
+        acc[1] += x[1] * y[1];
+        acc[2] += x[2] * y[2];
+        acc[3] += x[3] * y[3];
+    }
+    let mut tail = 0.0;
+    for i in 4 * chunks..a.len() {
+        tail += a[i] * b[i];
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+}
+
+/// Euclidean norm via a vectorized sum of squares, falling back to a scaled
+/// accumulation when the plain sum over- or underflows. `hypot` per element
+/// would be robust too, but costs a slow libm call per entry and dominated
+/// the factorization profile.
+#[inline]
+fn nrm2(v: &[f64]) -> f64 {
+    let sumsq = dot4(v, v);
+    if sumsq.is_finite() && sumsq > f64::MIN_POSITIVE {
+        sumsq.sqrt()
+    } else {
+        let max = v.iter().fold(0.0_f64, |m, x| m.max(x.abs()));
+        if max == 0.0 {
+            return 0.0;
+        }
+        let inv = 1.0 / max;
+        let s: f64 = v
+            .iter()
+            .map(|x| {
+                let y = x * inv;
+                y * y
+            })
+            .sum();
+        max * s.sqrt()
+    }
 }
 
 impl QrFactor {
@@ -39,66 +91,98 @@ impl QrFactor {
                 context: "QrFactor::new: system must have at least as many rows as columns",
             });
         }
-        let mut qr = a.clone();
+        // Transpose into column-major working storage.
+        let mut qr = vec![0.0; m * n];
+        for (j, col) in qr.chunks_exact_mut(m).enumerate() {
+            for (dst, src) in col.iter_mut().zip(a.col_iter(j)) {
+                *dst = src;
+            }
+        }
         let mut tau = vec![0.0; n];
         for k in 0..n {
+            // Columns k (the pivot) and k+1.. (the remainder) as disjoint
+            // contiguous slices.
+            let (head, rest) = qr.split_at_mut((k + 1) * m);
+            let colk = &mut head[k * m..];
             // Householder vector for column k, rows k..m.
-            let mut norm = 0.0_f64;
-            for i in k..m {
-                norm = norm.hypot(qr[(i, k)]);
-            }
+            let norm = nrm2(&colk[k..]);
             if norm == 0.0 {
                 tau[k] = 0.0;
                 continue;
             }
-            let alpha = if qr[(k, k)] >= 0.0 { -norm } else { norm };
+            let alpha = if colk[k] >= 0.0 { -norm } else { norm };
             // v = x - alpha * e1, stored normalized so v[k] = 1.
-            let v0 = qr[(k, k)] - alpha;
-            for i in (k + 1)..m {
-                qr[(i, k)] /= v0;
+            let v0 = colk[k] - alpha;
+            for v in &mut colk[(k + 1)..] {
+                *v /= v0;
             }
             tau[k] = -v0 / alpha;
-            qr[(k, k)] = alpha;
+            colk[k] = alpha;
             // Apply reflector to remaining columns: A <- (I - tau v v^T) A.
-            for j in (k + 1)..n {
-                let mut dot = qr[(k, j)];
-                for i in (k + 1)..m {
-                    dot += qr[(i, k)] * qr[(i, j)];
-                }
+            let v_tail = &colk[(k + 1)..];
+            for colj in rest.chunks_exact_mut(m) {
+                let mut dot = colj[k] + dot4(v_tail, &colj[(k + 1)..]);
                 dot *= tau[k];
-                qr[(k, j)] -= dot;
-                for i in (k + 1)..m {
-                    let d = dot * qr[(i, k)];
-                    qr[(i, j)] -= d;
+                colj[k] -= dot;
+                for (cj, &vi) in colj[(k + 1)..].iter_mut().zip(v_tail) {
+                    *cj -= dot * vi;
                 }
             }
         }
         Ok(QrFactor { qr, tau, rows: m, cols: n })
     }
 
+    /// Entry `(i, j)` of the packed factorization.
+    #[inline]
+    fn packed(&self, i: usize, j: usize) -> f64 {
+        self.qr[j * self.rows + i]
+    }
+
     /// Returns the upper-triangular factor `R` (`n × n`).
     pub fn r(&self) -> Mat {
-        Mat::from_fn(self.cols, self.cols, |i, j| if j >= i { self.qr[(i, j)] } else { 0.0 })
+        Mat::from_fn(self.cols, self.cols, |i, j| if j >= i { self.packed(i, j) } else { 0.0 })
     }
 
     /// Applies `Qᵀ` to a vector of length `m`.
     fn apply_qt(&self, b: &[f64]) -> Vec<f64> {
         let mut y = b.to_vec();
+        self.apply_qt_in_place(&mut y);
+        y
+    }
+
+    /// Applies `Qᵀ` to a vector of length `m`, in place.
+    ///
+    /// This exposes the Householder reflectors for callers that factor a
+    /// shared column block once and transform many additional columns
+    /// against it (the Vector Fitting pole-relocation compression).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y.len()` differs from the factored row count.
+    pub fn apply_qt_in_place(&self, y: &mut [f64]) {
+        assert_eq!(y.len(), self.rows, "apply_qt_in_place length mismatch");
         for k in 0..self.cols {
             if self.tau[k] == 0.0 {
                 continue;
             }
-            let mut dot = y[k];
-            for i in (k + 1)..self.rows {
-                dot += self.qr[(i, k)] * y[i];
-            }
+            let v_tail = &self.qr[k * self.rows + k + 1..(k + 1) * self.rows];
+            let mut dot = y[k] + dot4(v_tail, &y[(k + 1)..]);
             dot *= self.tau[k];
             y[k] -= dot;
-            for i in (k + 1)..self.rows {
-                y[i] -= dot * self.qr[(i, k)];
+            for (yi, &vi) in y[(k + 1)..].iter_mut().zip(v_tail) {
+                *yi -= dot * vi;
             }
         }
-        y
+    }
+
+    /// Number of rows of the factored matrix.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns of the factored matrix.
+    pub fn cols(&self) -> usize {
+        self.cols
     }
 
     /// Solves the least squares problem `min ‖A·x − b‖₂`.
@@ -118,13 +202,14 @@ impl QrFactor {
         }
         let y = self.apply_qt(b);
         let mut x = vec![0.0; self.cols];
-        let tol = f64::EPSILON * self.rows as f64 * self.qr.max_abs();
+        let max_abs = self.qr.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+        let tol = f64::EPSILON * self.rows as f64 * max_abs;
         for i in (0..self.cols).rev() {
             let mut acc = y[i];
-            for j in (i + 1)..self.cols {
-                acc -= self.qr[(i, j)] * x[j];
+            for (j, xj) in x.iter().enumerate().skip(i + 1) {
+                acc -= self.packed(i, j) * xj;
             }
-            let d = self.qr[(i, i)];
+            let d = self.packed(i, i);
             if d.abs() <= tol {
                 return Err(LinalgError::Singular { context: "QrFactor::solve_least_squares" });
             }
@@ -187,16 +272,24 @@ pub fn lstsq_scaled(a: &Mat, b: &[f64], lambda_rel: f64) -> Result<Vec<f64>> {
             right: (b.len(), 1),
         });
     }
-    // Column norms (unit fallback for identically zero columns).
+    // Column norms via row-wise sum-of-squares accumulation (unit fallback
+    // for identically zero columns). Columns whose plain sum of squares
+    // over- or underflows are recomputed through the scaled `nrm2` path.
     let mut norms = vec![0.0_f64; n];
-    for i in 0..m {
-        for j in 0..n {
-            norms[j] = norms[j].hypot(a[(i, j)]);
+    for row in a.as_slice().chunks_exact(n) {
+        for (s, &v) in norms.iter_mut().zip(row) {
+            *s += v * v;
         }
     }
-    for nj in &mut norms {
-        if *nj == 0.0 {
-            *nj = 1.0;
+    let mut colbuf = Vec::new();
+    for (j, nj) in norms.iter_mut().enumerate() {
+        if nj.is_finite() && *nj > f64::MIN_POSITIVE {
+            *nj = nj.sqrt();
+        } else {
+            colbuf.clear();
+            colbuf.extend(a.col_iter(j));
+            let norm = nrm2(&colbuf);
+            *nj = if norm == 0.0 { 1.0 } else { norm };
         }
     }
     let extra = if lambda_rel > 0.0 { n } else { 0 };
@@ -234,8 +327,10 @@ pub fn lstsq_multi(a: &Mat, b: &Mat) -> Result<Mat> {
     }
     let f = QrFactor::new(a)?;
     let mut x = Mat::zeros(a.cols(), b.cols());
+    let mut rhs = vec![0.0; b.rows()];
     for j in 0..b.cols() {
-        let col = f.solve_least_squares(&b.col(j))?;
+        b.copy_col_into(j, &mut rhs);
+        let col = f.solve_least_squares(&rhs)?;
         for i in 0..a.cols() {
             x[(i, j)] = col[i];
         }
@@ -365,6 +460,27 @@ mod scaled_tests {
         assert!(lstsq(&a, &b).is_err());
         let x = lstsq_scaled(&a, &b, 1e-8).unwrap();
         assert!((x[0] + x[1] - 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn scaled_solve_survives_extreme_column_magnitudes() {
+        // A column whose squared entries overflow f64: the equilibration must
+        // fall back to the scaled norm instead of producing inf/NaN scaling.
+        let big = 1e160;
+        let a = Mat::from_rows(&[&[1.0, big], &[1.0, 2.0 * big], &[1.0, 3.0 * big]]);
+        let x_true = [2.0, 1.0 / big];
+        let b = a.matvec(&x_true).unwrap();
+        let x = lstsq_scaled(&a, &b, 0.0).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-9, "x0 {}", x[0]);
+        assert!((x[1] - 1.0 / big).abs() < 1e-9 / big, "x1 {}", x[1]);
+        // And a column far below the underflow threshold of the plain sum.
+        let tiny = 1e-170;
+        let a = Mat::from_rows(&[&[1.0, tiny], &[1.0, 2.0 * tiny], &[1.0, 3.0 * tiny]]);
+        let x_true = [0.5, 1.0 / tiny];
+        let b = a.matvec(&x_true).unwrap();
+        let x = lstsq_scaled(&a, &b, 0.0).unwrap();
+        assert!((x[0] - 0.5).abs() < 1e-9, "x0 {}", x[0]);
+        assert!((x[1] * tiny - 1.0).abs() < 1e-9, "x1 {}", x[1]);
     }
 
     #[test]

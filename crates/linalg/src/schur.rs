@@ -64,16 +64,63 @@ pub fn complex_schur(a: &CMat) -> Result<Schur> {
     let hes = hessenberg(a)?;
     let mut t = hes.h;
     let mut u = hes.q;
-    if n == 1 {
-        return Ok(Schur { t, u });
+    qr_iterate(&mut t, Some(&mut u))?;
+    // Clean the strictly lower triangle (roundoff only).
+    for i in 0..n {
+        for j in 0..i {
+            t[(i, j)] = Complex64::ZERO;
+        }
     }
+    Ok(Schur { t, u })
+}
 
+/// Eigenvalues of a complex square matrix via the Schur iteration **without**
+/// accumulating the unitary factor.
+///
+/// This is the fast path behind [`crate::eig::eigenvalues`]: skipping the `U`
+/// updates and restricting every rotation to the active diagonal block
+/// roughly halves the work per QR sweep while producing bit-identical
+/// eigenvalues (entries outside the active block never feed back into it,
+/// and the spectrum of a block-triangular matrix is the union of its
+/// diagonal blocks' spectra).
+///
+/// # Errors
+///
+/// See [`complex_schur`].
+pub fn complex_schur_eigenvalues(a: &CMat) -> Result<Vec<Complex64>> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare { context: "complex_schur", dims: a.shape() });
+    }
+    let t = crate::hessenberg::hessenberg_h_only(a)?;
+    hessenberg_eigenvalues(t)
+}
+
+/// Eigenvalues of a matrix that is **already** upper Hessenberg, skipping
+/// the redundant reduction pass of [`complex_schur_eigenvalues`] (used by
+/// [`crate::eig::eigenvalues`] after its real-arithmetic reduction).
+pub(crate) fn hessenberg_eigenvalues(mut t: CMat) -> Result<Vec<Complex64>> {
+    qr_iterate(&mut t, None)?;
+    Ok((0..t.rows()).map(|i| t[(i, i)]).collect())
+}
+
+/// Single-shift QR iteration driving a Hessenberg matrix to triangular form.
+///
+/// With `u = Some(..)` the rotations are applied over the full row/column
+/// range and accumulated into `u`, yielding a true Schur decomposition. With
+/// `u = None` only the active block is updated — sufficient (and exact) when
+/// only the eigenvalues are required.
+fn qr_iterate(t: &mut CMat, mut u: Option<&mut CMat>) -> Result<()> {
+    let n = t.rows();
+    if n <= 1 {
+        return Ok(());
+    }
     let norm_scale = t.max_abs().max(f64::MIN_POSITIVE);
     let eps = f64::EPSILON;
     let mut hi = n - 1;
     let mut iter_this_eig = 0usize;
     let mut total_iter = 0usize;
     let total_budget = MAX_ITER_PER_EIGENVALUE * n.max(4);
+    let mut rotations: Vec<(usize, Givens)> = Vec::with_capacity(n);
 
     loop {
         // Deflate negligible subdiagonal entries.
@@ -108,39 +155,38 @@ pub fn complex_schur(a: &CMat) -> Result<Schur> {
 
         // Wilkinson shift from the trailing 2x2 block, replaced by an
         // exceptional shift every 15 stalled iterations.
-        let shift = if iter_this_eig % 15 == 0 {
+        let shift = if iter_this_eig.is_multiple_of(15) {
             Complex64::from_real(t[(hi, hi - 1)].abs() + t[(hi, hi)].abs())
         } else {
             wilkinson_shift(t[(hi - 1, hi - 1)], t[(hi - 1, hi)], t[(hi, hi - 1)], t[(hi, hi)])
         };
 
-        // Explicit single-shift QR sweep on the active block [lo, hi].
+        // Explicit single-shift QR sweep on the active block [lo, hi]. For
+        // the eigenvalue-only path the row updates stop at column `hi` and
+        // the column updates start at row `lo`: entries outside the block
+        // are never read again by shifts, deflation checks or rotations.
+        let (col_to, row_from) = if u.is_some() { (n, 0) } else { (hi + 1, lo) };
         for i in lo..=hi {
             t[(i, i)] -= shift;
         }
-        let mut rotations: Vec<(usize, Givens)> = Vec::with_capacity(hi - lo);
+        rotations.clear();
         for k in lo..hi {
             let g = Givens::compute(t[(k, k)], t[(k + 1, k)]);
-            g.apply_left(&mut t, k, k + 1, k, n);
+            g.apply_left(t, k, k + 1, k, col_to);
             t[(k + 1, k)] = Complex64::ZERO;
             rotations.push((k, g));
         }
         for &(k, g) in &rotations {
-            g.apply_right(&mut t, k, k + 1, 0, (k + 2).min(hi + 1));
-            g.apply_right(&mut u, k, k + 1, 0, n);
+            g.apply_right(t, k, k + 1, row_from, (k + 2).min(hi + 1));
+            if let Some(u) = u.as_deref_mut() {
+                g.apply_right(u, k, k + 1, 0, n);
+            }
         }
         for i in lo..=hi {
             t[(i, i)] += shift;
         }
     }
-
-    // Clean the strictly lower triangle (roundoff only).
-    for i in 0..n {
-        for j in 0..i {
-            t[(i, j)] = Complex64::ZERO;
-        }
-    }
-    Ok(Schur { t, u })
+    Ok(())
 }
 
 /// Computes the complex Schur decomposition of a real matrix.
@@ -227,6 +273,23 @@ mod tests {
         let mut im: Vec<f64> = s.eigenvalues().iter().map(|e| e.im).collect();
         im.sort_by(|x, y| x.partial_cmp(y).unwrap());
         assert!((im[0] + 2.0).abs() < 1e-10 && (im[3] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn eigenvalue_only_path_matches_full_schur() {
+        for n in [1usize, 2, 5, 12, 24] {
+            let a = random_cmat(n, 31 + n as u64);
+            let full = complex_schur(&a).unwrap().eigenvalues();
+            let fast = complex_schur_eigenvalues(&a).unwrap();
+            assert_eq!(fast.len(), n);
+            // The restricted-update iteration performs identical arithmetic
+            // inside the active block, so the eigenvalues agree bit for bit.
+            for (x, y) in fast.iter().zip(&full) {
+                assert_eq!(x, y, "eigenvalue drift for n={n}");
+            }
+        }
+        assert!(complex_schur_eigenvalues(&CMat::zeros(2, 3)).is_err());
+        assert!(complex_schur_eigenvalues(&CMat::zeros(0, 0)).unwrap().is_empty());
     }
 
     #[test]

@@ -38,8 +38,73 @@ fn complex_matrix(m: usize, n: usize) -> impl Strategy<Value = CMat> {
     })
 }
 
+/// Naive triple-loop reference product for the blocked real kernel.
+fn naive_matmul(a: &Mat, b: &Mat) -> Mat {
+    let mut out = Mat::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        for k in 0..a.cols() {
+            for j in 0..b.cols() {
+                out[(i, j)] += a[(i, k)] * b[(k, j)];
+            }
+        }
+    }
+    out
+}
+
+/// Naive triple-loop reference product for the blocked complex kernel.
+fn naive_cmatmul(a: &CMat, b: &CMat) -> CMat {
+    let mut out = CMat::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        for k in 0..a.cols() {
+            for j in 0..b.cols() {
+                out[(i, j)] += a[(i, k)] * b[(k, j)];
+            }
+        }
+    }
+    out
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn blocked_matmul_matches_naive_reference(
+        dims in (1usize..33, 1usize..33, 1usize..33),
+        va in prop::collection::vec(-1.0f64..1.0, 33 * 33),
+        vb in prop::collection::vec(-1.0f64..1.0, 33 * 33),
+    ) {
+        let (m, k, n) = dims;
+        let a = Mat::from_fn(m, k, |i, j| va[i * 33 + j]);
+        let b = Mat::from_fn(k, n, |i, j| vb[i * 33 + j]);
+        let reference = naive_matmul(&a, &b);
+        let fast = a.matmul(&b).unwrap();
+        prop_assert!(fast.max_abs_diff(&reference) < 1e-12);
+        // matmul_into overwrites whatever the output buffer held before.
+        let mut out = Mat::filled(m, n, 7.5);
+        a.matmul_into(&b, &mut out).unwrap();
+        prop_assert!(out.max_abs_diff(&reference) < 1e-12);
+    }
+
+    #[test]
+    fn blocked_complex_matmul_matches_naive_reference(
+        dims in (1usize..33, 1usize..33, 1usize..33),
+        va in prop::collection::vec(-1.0f64..1.0, 2 * 33 * 33),
+        vb in prop::collection::vec(-1.0f64..1.0, 2 * 33 * 33),
+    ) {
+        let (m, k, n) = dims;
+        let a = CMat::from_fn(m, k, |i, j| {
+            Complex64::new(va[2 * (i * 33 + j)], va[2 * (i * 33 + j) + 1])
+        });
+        let b = CMat::from_fn(k, n, |i, j| {
+            Complex64::new(vb[2 * (i * 33 + j)], vb[2 * (i * 33 + j) + 1])
+        });
+        let reference = naive_cmatmul(&a, &b);
+        let fast = a.matmul(&b).unwrap();
+        prop_assert!(fast.max_abs_diff(&reference) < 1e-12);
+        let mut out = CMat::identity(m.max(n)).block(0, 0, m, n);
+        a.matmul_into(&b, &mut out).unwrap();
+        prop_assert!(out.max_abs_diff(&reference) < 1e-12);
+    }
 
     #[test]
     fn lu_solve_reconstructs_rhs(a in dominant_matrix(5), x in prop::collection::vec(-2.0f64..2.0, 5)) {

@@ -42,6 +42,18 @@ pub struct PassivityReport {
 /// model (reference [14] of the paper). Its purely imaginary eigenvalues are
 /// the frequencies at which a singular value of `S(jω)` crosses one.
 ///
+/// The assembly exploits the 2×2 block structure of the Hamiltonian,
+///
+/// ```text
+/// M = [ A11   A12 ]      A11 = A − B·R⁻¹·Dᵀ·C,   A12 = −B·R⁻¹·Bᵀ,
+///     [ A21  −A11ᵀ]      A21 = Cᵀ·S⁻¹·C,
+/// ```
+///
+/// with `R = DᵀD − I` and `S = DDᵀ − I` both symmetric: the lower-right
+/// block is the negated transpose of the upper-left one and is filled by a
+/// copy instead of a second `N×N` matrix-product chain, and the blocks are
+/// written straight into the `2N×2N` result.
+///
 /// # Errors
 ///
 /// Returns [`PassivityError::InvalidInput`] when `DᵀD − I` is singular (a
@@ -59,8 +71,9 @@ pub fn hamiltonian_matrix(sys: &StateSpace) -> Result<Mat> {
     let b = sys.b();
     let c = sys.c();
     let d = sys.d();
-    let dtd = d.transpose().matmul(d)?;
-    let ddt = d.matmul(&d.transpose())?;
+    let dt = d.transpose();
+    let dtd = dt.matmul(d)?;
+    let ddt = d.matmul(&dt)?;
     let r = &dtd - &Mat::identity(p);
     let s = &ddt - &Mat::identity(p);
     let r_inv = inverse(&r).map_err(|_| {
@@ -75,17 +88,21 @@ pub fn hamiltonian_matrix(sys: &StateSpace) -> Result<Mat> {
     })?;
 
     let br = b.matmul(&r_inv)?; // B (DᵀD − I)⁻¹
-    let a11 = a - &br.matmul(&d.transpose())?.matmul(c)?;
-    let a12 = br.matmul(&b.transpose())?.scaled(-1.0);
+    let a11 = a - &br.matmul(&dt)?.matmul(c)?;
+    let mut a12 = br.matmul(&b.transpose())?;
+    a12.scale_in_place(-1.0);
     let a21 = c.transpose().matmul(&s_inv)?.matmul(c)?;
-    let a22 = &a.transpose().scaled(-1.0)
-        + &c.transpose().matmul(d)?.matmul(&r_inv)?.matmul(&b.transpose())?;
 
     let mut m = Mat::zeros(2 * n, 2 * n);
     m.set_block(0, 0, &a11);
     m.set_block(0, n, &a12);
     m.set_block(n, 0, &a21);
-    m.set_block(n, n, &a22);
+    // A22 = −A11ᵀ (R symmetric ⇒ (B·R⁻¹·Dᵀ·C)ᵀ = Cᵀ·D·R⁻¹·Bᵀ).
+    for i in 0..n {
+        for j in 0..n {
+            m[(n + i, n + j)] = -a11[(j, i)];
+        }
+    }
     Ok(m)
 }
 
@@ -111,7 +128,7 @@ pub fn hamiltonian_crossings(sys: &StateSpace) -> Result<Vec<f64>> {
     // Merge near-duplicates produced by the eigenvalue solver.
     let mut merged: Vec<f64> = Vec::with_capacity(crossings.len());
     for w in crossings {
-        if merged.last().map_or(true, |&last| (w - last).abs() > 1e-9 * w.max(1.0)) {
+        if merged.last().is_none_or(|&last| (w - last).abs() > 1e-9 * w.max(1.0)) {
             merged.push(w);
         }
     }

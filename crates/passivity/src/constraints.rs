@@ -82,15 +82,19 @@ pub fn build_constraints(
     let mut rows: Vec<Vec<f64>> = Vec::new();
     let mut g: Vec<f64> = Vec::new();
 
+    // The shifted matrix jωI − A_e differs between frequencies only on the
+    // diagonal: build the negated A once and patch the diagonal per ω.
+    let neg_a = element_realization.a().to_complex().scaled_real(-1.0);
+    let b_cplx = element_realization.b().to_complex();
     for &omega in omegas {
         // φ(jω) = (jωI − A_e)⁻¹ b_e  (shared by every matrix element).
         let s = Complex64::from_imag(omega);
         let n = element_realization.order();
-        let mut si_a = element_realization.a().to_complex().scaled_real(-1.0);
+        let mut si_a = neg_a.clone();
         for i in 0..n {
             si_a[(i, i)] += s;
         }
-        let phi = CLu::new(&si_a)?.solve(&element_realization.b().to_complex())?;
+        let phi = CLu::new(&si_a)?.solve(&b_cplx)?;
 
         let s_matrix = model.evaluate_at_omega(omega).map_err(PassivityError::StateSpace)?;
         let decomposition = svd(&s_matrix)?;
@@ -98,12 +102,12 @@ pub fn build_constraints(
             if sigma <= sigma_threshold {
                 continue;
             }
-            let u = decomposition.u.col(idx);
-            let v = decomposition.v.col(idx);
+            let u = &decomposition.u;
+            let v = &decomposition.v;
             let mut row = vec![0.0; elements * n_states];
             for i in 0..ports {
                 for j in 0..ports {
-                    let scale = u[i].conj() * v[j];
+                    let scale = u[(i, idx)].conj() * v[(j, idx)];
                     let base = (i * ports + j) * n_states;
                     for m in 0..n_states {
                         row[base + m] += (scale * phi[(m, 0)]).re;

@@ -14,7 +14,7 @@
 
 use crate::check::{assess, PassivityReport};
 use crate::constraints::{apply_perturbation, build_constraints};
-use crate::qp::{solve_block_qp, QpOptions};
+use crate::qp::{solve_block_qp_factored, BlockQpFactors, QpOptions};
 use crate::{PassivityError, Result};
 use pim_linalg::svd::svd;
 use pim_linalg::{Complex64, Mat};
@@ -200,11 +200,11 @@ pub fn enforce_asymptotic_passivity(
         if s == 0.0 {
             continue;
         }
-        let u = decomposition.u.col(idx);
-        let v = decomposition.v.col(idx);
+        let u = &decomposition.u;
+        let v = &decomposition.v;
         for i in 0..p {
             for j in 0..p {
-                clipped[(i, j)] += u[i] * v[j].conj() * Complex64::from_real(s);
+                clipped[(i, j)] += u[(i, idx)] * v[(j, idx)].conj() * Complex64::from_real(s);
             }
         }
     }
@@ -283,6 +283,14 @@ pub fn enforce_passivity(
         v
     };
 
+    // Quantities that are invariant across the outer iterations: the
+    // perturbation only moves residues, never poles, so the shared
+    // per-element realization `(A_e, b_e)` used by the constraint
+    // linearization is fixed, and so are the Gramian weights — factor them
+    // once instead of re-running LU per iteration.
+    let element = StateSpace::from_pole_residue_element(&current, 0, 0)?;
+    let qp_factors = BlockQpFactors::new(norm.gramians(), config.qp.regularization)?;
+
     loop {
         let mut report = assess(&current, &sweep)?;
         if report.passive {
@@ -329,7 +337,6 @@ pub fn enforce_passivity(
         freqs.sort_by(|a, b| a.partial_cmp(b).unwrap());
         freqs.dedup_by(|a, b| (*a - *b).abs() <= 1e-9 * a.abs().max(1.0));
 
-        let element = StateSpace::from_pole_residue_element(&current, 0, 0)?;
         let cons = build_constraints(
             &current,
             &element,
@@ -344,7 +351,7 @@ pub fn enforce_passivity(
                     .into(),
             ));
         }
-        let qp = solve_block_qp(norm.gramians(), &cons.f, &cons.g, &config.qp)?;
+        let qp = solve_block_qp_factored(&qp_factors, &cons.f, &cons.g, &config.qp)?;
 
         let mut delta = qp.x;
         if config.preserve_symmetry {

@@ -51,11 +51,65 @@ pub struct QpSolution {
     pub objective: f64,
 }
 
+/// Pre-factored Gramian blocks of the QP Hessian.
+///
+/// The Gramian weights are fixed across the outer iterations of the
+/// enforcement loop (the norm depends only on the poles and the sensitivity
+/// weight, neither of which the perturbation changes), so the per-block LU
+/// factorizations can be computed once and reused by every
+/// [`solve_block_qp_factored`] call instead of being rebuilt from scratch
+/// each iteration.
+#[derive(Debug, Clone)]
+pub struct BlockQpFactors {
+    blocks: Vec<Mat>,
+    factors: Vec<Lu>,
+    n_block: usize,
+}
+
+impl BlockQpFactors {
+    /// Factors the regularized Gramian blocks. `regularization` is the
+    /// relative Tikhonov term of [`QpOptions::regularization`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PassivityError::InvalidInput`] on inconsistent block shapes
+    /// and propagates factorization failures.
+    pub fn new(blocks: &[Mat], regularization: f64) -> Result<Self> {
+        if blocks.is_empty() {
+            return Err(PassivityError::InvalidInput(
+                "at least one Gramian block is required".into(),
+            ));
+        }
+        let n_block = blocks[0].rows();
+        if blocks.iter().any(|b| !b.is_square() || b.rows() != n_block) {
+            return Err(PassivityError::InvalidInput(
+                "all Gramian blocks must be square and of identical size".into(),
+            ));
+        }
+        // The Hessian of the primal is H = 2·blkdiag(G_e), so H⁻¹
+        // applications reduce to per-block solves.
+        let mut factors = Vec::with_capacity(blocks.len());
+        for b in blocks {
+            let scale = b.trace().abs().max(1e-300) / n_block as f64;
+            let reg = &Mat::identity(n_block).scaled(regularization * scale);
+            factors.push(Lu::new(&(b + reg))?);
+        }
+        Ok(BlockQpFactors { blocks: blocks.to_vec(), factors, n_block })
+    }
+
+    /// Total number of unknowns (`blocks · block size`).
+    pub fn unknowns(&self) -> usize {
+        self.blocks.len() * self.n_block
+    }
+}
+
 /// Solves the block-diagonal Gramian-weighted QP.
 ///
 /// `blocks` holds one symmetric positive-definite matrix per element (all of
 /// identical size); `f` and `g` define the inequality constraints
-/// `F·x ≤ g`.
+/// `F·x ≤ g`. The blocks are factored on every call — use
+/// [`BlockQpFactors`] + [`solve_block_qp_factored`] to amortize the
+/// factorization across repeated solves with the same Gramians.
 ///
 /// # Errors
 ///
@@ -68,16 +122,27 @@ pub fn solve_block_qp(
     g: &[f64],
     options: &QpOptions,
 ) -> Result<QpSolution> {
-    if blocks.is_empty() {
-        return Err(PassivityError::InvalidInput("at least one Gramian block is required".into()));
-    }
-    let n_block = blocks[0].rows();
-    if blocks.iter().any(|b| !b.is_square() || b.rows() != n_block) {
-        return Err(PassivityError::InvalidInput(
-            "all Gramian blocks must be square and of identical size".into(),
-        ));
-    }
-    let n = blocks.len() * n_block;
+    let factors = BlockQpFactors::new(blocks, options.regularization)?;
+    solve_block_qp_factored(&factors, f, g, options)
+}
+
+/// Solves the block-diagonal Gramian-weighted QP with pre-factored blocks.
+///
+/// `options.regularization` is **not** consulted here: the Tikhonov term is
+/// baked into `factors` at [`BlockQpFactors::new`] time (that is the whole
+/// point of pre-factoring); only the iteration/tolerance options apply.
+///
+/// # Errors
+///
+/// See [`solve_block_qp`].
+pub fn solve_block_qp_factored(
+    factors: &BlockQpFactors,
+    f: &Mat,
+    g: &[f64],
+    options: &QpOptions,
+) -> Result<QpSolution> {
+    let n_block = factors.n_block;
+    let n = factors.unknowns();
     if f.cols() != n {
         return Err(PassivityError::InvalidInput(format!(
             "constraint matrix has {} columns, expected {}",
@@ -102,21 +167,14 @@ pub fn solve_block_qp(
         });
     }
 
-    // Factor each regularized block once; the Hessian of the primal is
-    // H = 2·blkdiag(G_e), so H⁻¹ applications reduce to per-block solves.
-    let mut factors = Vec::with_capacity(blocks.len());
-    for b in blocks {
-        let scale = b.trace().abs().max(1e-300) / n_block as f64;
-        let reg = &Mat::identity(n_block).scaled(options.regularization * scale);
-        let factor = Lu::new(&(b + reg))?;
-        factors.push(factor);
-    }
-
     // hinv_ft[:, r] = H^{-1} F^T e_r  (column per constraint), with H = 2G.
     let mut hinv_ft = Mat::zeros(n, m);
+    let mut seg = vec![0.0; n_block];
     for r in 0..m {
-        for (e, factor) in factors.iter().enumerate() {
-            let seg: Vec<f64> = (0..n_block).map(|k| f[(r, e * n_block + k)]).collect();
+        for (e, factor) in factors.factors.iter().enumerate() {
+            for (k, s) in seg.iter_mut().enumerate() {
+                *s = f[(r, e * n_block + k)];
+            }
             let sol = factor.solve_vec(&seg)?;
             for k in 0..n_block {
                 hinv_ft[(e * n_block + k, r)] = 0.5 * sol[k];
@@ -166,7 +224,7 @@ pub fn solve_block_qp(
     }
     // Objective xᵀ (blkdiag G) x.
     let mut objective = 0.0;
-    for (e, b) in blocks.iter().enumerate() {
+    for (e, b) in factors.blocks.iter().enumerate() {
         let seg = &x[e * n_block..(e + 1) * n_block];
         let bs = b.matvec(seg)?;
         objective += seg.iter().zip(&bs).map(|(a, c)| a * c).sum::<f64>();

@@ -207,7 +207,7 @@ mod tests {
         let e = relative_rms_error(&r, &c).unwrap();
         assert!((e - (0.01f64 / 5.0).sqrt()).abs() < 1e-12);
         assert_eq!(relative_rms_error(&r, &r).unwrap(), 0.0);
-        assert!(relative_rms_error(&r, &c[..1].to_vec()).is_err());
+        assert!(relative_rms_error(&r, &c[..1]).is_err());
         assert!(relative_rms_error(&[], &[]).is_err());
         let zeros = vec![Complex64::ZERO; 2];
         assert!(relative_rms_error(&zeros, &c).is_err());

@@ -226,11 +226,11 @@ pub fn fit_magnitude(
         let s = Complex64::from_imag(w);
         let mut num = Complex64::ONE;
         for z in &s_zeros {
-            num = num * (s - *z);
+            num *= s - *z;
         }
         let mut den = Complex64::ONE;
         for p in &s_poles {
-            den = den * (s - *p);
+            den *= s - *p;
         }
         let unit = (num / den).abs();
         if unit > 0.0 && unit.is_finite() {
@@ -390,12 +390,12 @@ fn expand_partial_fractions(
     for (i, &pi) in p.iter().enumerate() {
         let mut num = Complex64::from_real(gain);
         for z in zeros {
-            num = num * (pi - *z);
+            num *= pi - *z;
         }
         let mut den = Complex64::ONE;
         for (j, &pj) in p.iter().enumerate() {
             if j != i {
-                den = den * (pi - pj);
+                den *= pi - pj;
             }
         }
         if den.abs() == 0.0 {

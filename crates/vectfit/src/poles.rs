@@ -87,7 +87,7 @@ pub fn symmetrize_spectrum(eigenvalues: &[Complex64]) -> Vec<Complex64> {
                 continue;
             }
             let d = (u.conj() - *l).abs();
-            if best.map_or(true, |(_, bd)| d < bd) {
+            if best.is_none_or(|(_, bd)| d < bd) {
                 best = Some((idx, d));
             }
         }

@@ -49,5 +49,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             100.0 * std_eval.impedance_relative_error
         );
     }
+    // iterations_report: worst singular value after each enforcement
+    // iteration under the weighted vs the standard norm. Diagnostic only (no
+    // numerics change) — this is the trajectory to inspect for the open
+    // Fig. 5 anomaly, where the final weighted model's target-impedance
+    // error lands above the standard-norm baseline.
+    if let (Some(w), Some(s)) = (&report.weighted_enforcement, &report.standard_enforcement) {
+        println!("iterations_report: sigma_max per iteration, weighted vs standard norm");
+        let rows = w.sigma_max_history.len().max(s.sigma_max_history.len());
+        for k in 0..rows {
+            let fmt = |h: &[f64]| match h.get(k) {
+                Some(v) => format!("{v:.6}"),
+                None => "    (done)".to_string(),
+            };
+            println!(
+                "  iter {k:>2}: weighted {:>10}  standard {:>10}",
+                fmt(&w.sigma_max_history),
+                fmt(&s.sigma_max_history)
+            );
+        }
+        println!(
+            "  accumulated perturbation norm: weighted {:.3e}, standard {:.3e}",
+            w.accumulated_norm, s.accumulated_norm
+        );
+    }
     Ok(())
 }

@@ -58,7 +58,8 @@ fn sensitivity_profile_is_reproducible_across_scenario_sizes() {
     // The low-frequency sensitivity amplification must appear for both the
     // reduced and a slightly larger scenario (structural property, not a
     // tuning accident).
-    for cfg in [ScenarioConfig::reduced()] {
+    {
+        let cfg = ScenarioConfig::reduced();
         let sc = StandardScenario::build(cfg).unwrap();
         let xi = analytic_sensitivity(&sc.data, &sc.network, sc.observation_port).unwrap();
         assert!(xi[1] > 10.0 * xi[xi.len() - 1]);
