@@ -5,28 +5,27 @@
 //! Every figure of the paper's evaluation section has a regeneration binary
 //! in `src/bin/` (printing the series the paper plots) and a Criterion
 //! benchmark in `benches/` timing the underlying computation. See
-//! `EXPERIMENTS.md` at the workspace root for the experiment index.
+//! `EXPERIMENTS.md` at the workspace root for the experiment index and the
+//! mapping from figures to pipeline stages.
 
 #![deny(missing_docs)]
 
-use pim_core::flow::{run_flow, FlowConfig, FlowReport};
-use pim_core::scenario::StandardScenario;
+use pim_core::flow::{FlowConfig, FlowReport};
+use pim_core::pipeline::Pipeline;
+use pim_core::scenario::{ScenarioPreset, StandardScenario};
 
-/// Builds the reduced reproduction scenario and runs the full flow, the
-/// shared setup of every figure binary.
+/// Builds the reduced reproduction scenario and runs the full staged
+/// pipeline, the shared setup of every figure binary.
 ///
 /// # Panics
 ///
 /// Panics on any failure of the underlying flow (the harness binaries are
 /// diagnostic tools, not library code).
 pub fn run_reduced_flow() -> (StandardScenario, FlowReport) {
-    let scenario = StandardScenario::reduced().expect("scenario construction");
-    let report = run_flow(
-        &scenario.data,
-        &scenario.network,
-        scenario.observation_port,
-        &FlowConfig::default(),
-    )
-    .expect("macromodeling flow");
+    let scenario = ScenarioPreset::Reduced.build().expect("scenario construction");
+    let report = Pipeline::from_scenario(&scenario, FlowConfig::default())
+        .expect("pipeline construction")
+        .report()
+        .expect("macromodeling flow");
     (scenario, report)
 }

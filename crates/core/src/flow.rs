@@ -14,20 +14,12 @@
 //!    and optionally with the standard L2 norm, which is the comparison the
 //!    paper uses to demonstrate the accuracy loss of unweighted enforcement.
 
-use crate::weighting::sensitivity_weighted_norm;
-use crate::{CoreError, Result};
-use pim_passivity::check::assess;
-use pim_passivity::enforce::{
-    enforce_passivity, EnforcementConfig, EnforcementOutcome, PerturbationNorm,
-};
-use pim_passivity::PassivityError;
-use pim_pdn::sensitivity::sensitivity_to_weights;
-use pim_pdn::{analytic_sensitivity, target_impedance, TargetImpedance, TerminationNetwork};
+use crate::Result;
+use pim_passivity::enforce::{EnforcementConfig, EnforcementOutcome};
+use pim_pdn::{target_impedance, TargetImpedance, TerminationNetwork};
 use pim_rfdata::{metrics, NetworkData, ParameterKind};
 use pim_statespace::PoleResidueModel;
-use pim_vectfit::{
-    fit_magnitude, vector_fit, MagnitudeFitConfig, SensitivityModel, VfConfig, VfResult,
-};
+use pim_vectfit::{SensitivityModel, VfConfig, VfResult};
 
 /// Configuration of the full flow.
 #[derive(Debug, Clone)]
@@ -141,6 +133,10 @@ pub fn evaluate_model(
 
 /// Runs the complete flow on a tabulated data set.
 ///
+/// This is the legacy one-shot entry point, kept as a thin compatibility
+/// wrapper over the staged [`Pipeline`](crate::pipeline::Pipeline): it runs
+/// every stage in order and assembles the same `FlowReport`, bit for bit.
+///
 /// # Errors
 ///
 /// Propagates failures of the individual stages; the *baseline* standard
@@ -152,107 +148,14 @@ pub fn run_flow(
     observation_port: usize,
     config: &FlowConfig,
 ) -> Result<FlowReport> {
-    if data.kind() != ParameterKind::Scattering {
-        return Err(CoreError::InvalidInput("the flow requires scattering data".into()));
-    }
-    // 1. Reference quantities.
-    let nominal_impedance = target_impedance(data, network, observation_port)?;
-    let sensitivity = analytic_sensitivity(data, network, observation_port)?;
-    let weights = sensitivity_to_weights(&sensitivity, config.weight_floor)?;
-
-    // 2. Standard and weighted fits.
-    let standard_fit = vector_fit(data, None, &config.vf)?;
-    let weighted_fit = vector_fit(data, Some(&weights), &config.vf)?;
-
-    // 3. Rational weighting model from the sensitivity samples (skip the DC
-    //    point, where ω = 0 carries no extra information for the magnitude
-    //    fit and the x = ω² mapping is degenerate).
-    let omegas = data.grid().omegas();
-    let (fit_omegas, fit_xi): (Vec<f64>, Vec<f64>) =
-        omegas.iter().zip(&sensitivity).filter(|(&w, _)| w > 0.0).map(|(&w, &x)| (w, x)).unzip();
-    let sensitivity_model = fit_magnitude(
-        &fit_omegas,
-        &fit_xi,
-        &MagnitudeFitConfig { order: config.sensitivity_order, ..Default::default() },
-    )?;
-
-    // 4. Passivity assessment of the weighted model.
-    let band_max_omega = omegas.iter().copied().fold(0.0_f64, f64::max);
-    let report_before = assess(&weighted_fit.model, &omegas)?;
-    let sigma_max_before = report_before.sigma_max;
-
-    let (weighted_enforcement, standard_enforcement) = if report_before.passive {
-        (None, None)
-    } else {
-        let weighted_norm = sensitivity_weighted_norm(&weighted_fit.model, &sensitivity_model)?;
-        let weighted_out = enforce_passivity(
-            &weighted_fit.model,
-            &weighted_norm,
-            band_max_omega,
-            &config.enforcement,
-        )?;
-        let standard_out = if config.run_standard_enforcement {
-            let standard_norm = PerturbationNorm::standard(&weighted_fit.model)?;
-            match enforce_passivity(
-                &weighted_fit.model,
-                &standard_norm,
-                band_max_omega,
-                &config.enforcement,
-            ) {
-                Ok(out) => Some(out),
-                Err(PassivityError::NotConverged { .. }) => None,
-                Err(e) => return Err(e.into()),
-            }
-        } else {
-            None
-        };
-        (Some(weighted_out), standard_out)
-    };
-
-    // 5. Accuracy summaries.
-    let standard_model_eval =
-        evaluate_model(&standard_fit.model, data, network, observation_port, &nominal_impedance)?;
-    let weighted_model_eval =
-        evaluate_model(&weighted_fit.model, data, network, observation_port, &nominal_impedance)?;
-    let weighted_passive_model = match &weighted_enforcement {
-        Some(out) => out.model.clone(),
-        None => weighted_fit.model.clone(),
-    };
-    let weighted_passive_eval = evaluate_model(
-        &weighted_passive_model,
-        data,
-        network,
-        observation_port,
-        &nominal_impedance,
-    )?;
-    let standard_passive_eval = match &standard_enforcement {
-        Some(out) => {
-            Some(evaluate_model(&out.model, data, network, observation_port, &nominal_impedance)?)
-        }
-        None => None,
-    };
-
-    Ok(FlowReport {
-        nominal_impedance,
-        sensitivity,
-        weights,
-        sensitivity_model,
-        standard_fit,
-        weighted_fit,
-        sigma_max_before,
-        weighted_enforcement,
-        standard_enforcement,
-        standard_model_eval,
-        weighted_model_eval,
-        weighted_passive_eval,
-        standard_passive_eval,
-    })
+    crate::pipeline::Pipeline::from_data(data, network, observation_port, config.clone())?.report()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::scenario::StandardScenario;
+    use pim_passivity::check::assess;
 
     fn quick_config() -> FlowConfig {
         FlowConfig {

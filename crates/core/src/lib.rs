@@ -12,26 +12,39 @@
 //!   per-element dynamics, and the `(1,1)` block of its controllability
 //!   Gramian (eq. 19–20) becomes the per-element weight of the enforcement
 //!   norm (eq. 21);
-//! * [`flow`] — the complete macromodeling flow of the paper: unweighted
-//!   Vector Fitting, sensitivity extraction, sensitivity-weighted refit,
-//!   passivity assessment, and passivity enforcement with either the
-//!   standard L2 norm (the baseline the paper criticizes) or the
-//!   sensitivity-weighted norm (the paper's method);
+//! * [`pipeline`] — the staged, observable macromodeling pipeline: typed
+//!   stage handles (`sensitivity → fit → weighting_model → assess →
+//!   enforce`), each returning an owned artifact, plus the
+//!   [`pipeline::Pipeline::sweep`] batch runner over [`scenario::ScenarioPreset`]s;
+//! * [`flow`] — the legacy one-shot entry point [`flow::run_flow`], now a
+//!   thin wrapper over the pipeline producing a bit-identical
+//!   [`flow::FlowReport`], plus the report/evaluation types;
+//! * [`observer`] — the [`observer::FlowObserver`] hook (stage boundaries +
+//!   per-iteration enforcement events) and the recording
+//!   [`observer::TraceObserver`];
 //! * [`scenario`] — the synthetic reproduction test case: a plane-pair PDN
 //!   board (from `pim-circuit`) with the nominal die / decap / VRM
 //!   termination scheme of Sec. IV, sampled on the paper's 1 kHz – 2 GHz
-//!   logarithmic grid with DC point.
+//!   logarithmic grid with DC point, and the [`scenario::ScenarioPreset`]
+//!   registry of named board shapes.
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod flow;
+pub mod observer;
+pub mod pipeline;
 pub mod scenario;
 pub mod weighting;
 
 pub use flow::{run_flow, FlowConfig, FlowReport, ModelEvaluation};
-pub use scenario::{ScenarioConfig, StandardScenario};
-pub use weighting::sensitivity_weighted_norm;
+pub use observer::{FlowObserver, Stage, TraceObserver};
+pub use pipeline::{
+    AssessmentArtifact, EnforcementArtifact, FitArtifact, FitKind, Pipeline, SensitivityArtifact,
+    SweepEntry,
+};
+pub use scenario::{ScenarioConfig, ScenarioPreset, StandardScenario};
+pub use weighting::{sensitivity_weighted_norm, SensitivityWeightedNorm};
 
 use std::error::Error;
 use std::fmt;

@@ -1,0 +1,179 @@
+//! Observation hooks for the staged macromodeling pipeline.
+//!
+//! A [`FlowObserver`] attached to a [`crate::pipeline::Pipeline`] receives a
+//! callback when each stage starts and finishes, plus one event per outer
+//! passivity-enforcement iteration (forwarded from
+//! [`pim_passivity::enforce::EnforcementObserver`], labeled with the
+//! [`NormKind`] being enforced). Observers are purely diagnostic: running a
+//! pipeline with or without one produces bit-identical results.
+//!
+//! [`TraceObserver`] is the ready-made recording observer behind the
+//! `iterations_report` diagnostic of the Fig. 5 anomaly investigation: it
+//! keeps the full stage log and the weighted-vs-standard per-iteration
+//! `σ_max` / perturbation-norm traces.
+
+use crate::pipeline::FitKind;
+use pim_passivity::enforce::EnforcementIteration;
+use pim_passivity::NormKind;
+use std::fmt;
+
+/// One stage of the macromodeling pipeline, as reported to observers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Nominal target impedance, sensitivity samples and fitting weights.
+    Sensitivity,
+    /// Vector Fitting of the scattering data (standard or weighted metric).
+    Fit(FitKind),
+    /// Magnitude Vector Fitting of the sensitivity into `Ξ̃(s)`.
+    WeightingModel,
+    /// Passivity assessment of the weighted macromodel.
+    Assessment,
+    /// Iterative passivity enforcement under the named norm.
+    Enforcement(NormKind),
+    /// Accuracy evaluation of the fitted / enforced models.
+    Evaluation,
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Stage::Sensitivity => f.write_str("sensitivity"),
+            Stage::Fit(FitKind::Standard) => f.write_str("fit(standard)"),
+            Stage::Fit(FitKind::Weighted) => f.write_str("fit(weighted)"),
+            Stage::WeightingModel => f.write_str("weighting-model"),
+            Stage::Assessment => f.write_str("assessment"),
+            Stage::Enforcement(kind) => write!(f, "enforcement({kind})"),
+            Stage::Evaluation => f.write_str("evaluation"),
+        }
+    }
+}
+
+/// Observer of a staged pipeline run.
+///
+/// All methods have no-op defaults, so an implementation only overrides the
+/// events it cares about. The hooks are observational only — they cannot
+/// change what the pipeline computes.
+pub trait FlowObserver {
+    /// A stage is about to run (not called when its cached artifact is
+    /// reused).
+    fn on_stage_start(&mut self, stage: Stage) {
+        let _ = stage;
+    }
+
+    /// A stage finished and its artifact is cached.
+    fn on_stage_done(&mut self, stage: Stage) {
+        let _ = stage;
+    }
+
+    /// A stage that had started failed with an error (e.g. a non-converging
+    /// enforcement). Events already delivered for the stage — such as
+    /// enforcement iterations — belong to the failed attempt.
+    fn on_stage_failed(&mut self, stage: Stage) {
+        let _ = stage;
+    }
+
+    /// One outer enforcement iteration completed under the given norm.
+    fn on_enforcement_iteration(&mut self, norm: NormKind, event: &EnforcementIteration) {
+        let _ = (norm, event);
+    }
+}
+
+/// A recording [`FlowObserver`]: keeps the stage log and the per-norm
+/// enforcement iteration traces.
+///
+/// This replaces the ad-hoc `iterations_report` diagnostic the quickstart
+/// example used to assemble from `sigma_max_history`: the traces additionally
+/// carry the per-iteration perturbation-norm increment, the backtracking step
+/// and the constraint count — the quantities the open Fig. 5 anomaly
+/// investigation needs to compare the weighted and the standard loop.
+#[derive(Debug, Clone, Default)]
+pub struct TraceObserver {
+    /// Stages that started, in order.
+    pub started: Vec<Stage>,
+    /// Stages that completed, in order.
+    pub completed: Vec<Stage>,
+    /// Stages that started but failed, in order. An enforcement trace whose
+    /// stage appears here belongs to a failed (e.g. non-converged) run.
+    pub failed: Vec<Stage>,
+    /// Every enforcement iteration, labeled with the norm that produced it.
+    pub iterations: Vec<(NormKind, EnforcementIteration)>,
+}
+
+impl TraceObserver {
+    /// An empty trace.
+    pub fn new() -> Self {
+        TraceObserver::default()
+    }
+
+    /// The iteration trace recorded under the given norm, in order.
+    pub fn trace(&self, norm: NormKind) -> Vec<&EnforcementIteration> {
+        self.iterations.iter().filter(|(k, _)| *k == norm).map(|(_, ev)| ev).collect()
+    }
+}
+
+impl FlowObserver for TraceObserver {
+    fn on_stage_start(&mut self, stage: Stage) {
+        self.started.push(stage);
+    }
+
+    fn on_stage_done(&mut self, stage: Stage) {
+        self.completed.push(stage);
+    }
+
+    fn on_stage_failed(&mut self, stage: Stage) {
+        self.failed.push(stage);
+    }
+
+    fn on_enforcement_iteration(&mut self, norm: NormKind, event: &EnforcementIteration) {
+        self.iterations.push((norm, *event));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stages_display_distinctly() {
+        let stages = [
+            Stage::Sensitivity,
+            Stage::Fit(FitKind::Standard),
+            Stage::Fit(FitKind::Weighted),
+            Stage::WeightingModel,
+            Stage::Assessment,
+            Stage::Enforcement(NormKind::Standard),
+            Stage::Enforcement(NormKind::SensitivityWeighted),
+            Stage::Evaluation,
+        ];
+        let labels: Vec<String> = stages.iter().map(|s| s.to_string()).collect();
+        for (i, a) in labels.iter().enumerate() {
+            for b in labels.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn trace_observer_records_and_filters() {
+        let mut obs = TraceObserver::new();
+        obs.on_stage_start(Stage::Sensitivity);
+        obs.on_stage_done(Stage::Sensitivity);
+        let ev = EnforcementIteration {
+            iteration: 1,
+            sigma_before: 1.2,
+            sigma_after: 1.05,
+            step: 1.0,
+            norm_increment: 3.0,
+            constraints: 4,
+        };
+        obs.on_enforcement_iteration(NormKind::SensitivityWeighted, &ev);
+        obs.on_enforcement_iteration(NormKind::Standard, &ev);
+        obs.on_stage_failed(Stage::Enforcement(NormKind::Standard));
+        assert_eq!(obs.started, vec![Stage::Sensitivity]);
+        assert_eq!(obs.completed, vec![Stage::Sensitivity]);
+        assert_eq!(obs.failed, vec![Stage::Enforcement(NormKind::Standard)]);
+        assert_eq!(obs.trace(NormKind::SensitivityWeighted).len(), 1);
+        assert_eq!(obs.trace(NormKind::Standard).len(), 1);
+        assert_eq!(obs.trace(NormKind::Custom("x")).len(), 0);
+    }
+}

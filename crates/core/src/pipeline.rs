@@ -1,0 +1,529 @@
+//! The staged, observable macromodeling pipeline.
+//!
+//! [`Pipeline`] decomposes the monolithic flow of [`crate::flow::run_flow`]
+//! into typed stages, each returning an owned artifact:
+//!
+//! ```text
+//! Pipeline::from_scenario(..) / from_data(..)
+//!     .sensitivity()       -> SensitivityArtifact   (Ξ_k, weights, Z_nominal)
+//!     .fit(FitKind::..)    -> FitArtifact           (standard / weighted VF)
+//!     .weighting_model()   -> SensitivityModel      (Ξ̃(s), eq. 15–17)
+//!     .assess()            -> AssessmentArtifact    (Hamiltonian + sweep)
+//!     .enforce(NormKind::..) -> EnforcementArtifact (perturbation loop)
+//!     .report()            -> FlowReport            (everything, assembled)
+//! ```
+//!
+//! Stages compute lazily and cache: calling [`Pipeline::enforce`] first runs
+//! whatever prerequisites are missing (weighted fit, weighting model,
+//! assessment), and re-requesting an artifact returns the cached value
+//! without recomputation. A [`FlowObserver`] attached with
+//! [`Pipeline::with_observer`] sees stage boundaries and every enforcement
+//! iteration; observers never change numerics — the staged path is
+//! bit-identical to the legacy one-shot [`crate::flow::run_flow`] wrapper.
+//!
+//! [`Pipeline::sweep`] is the batch entry point: it evaluates a list of
+//! [`ScenarioPreset`]s end-to-end and returns one [`FlowReport`] per
+//! scenario.
+
+use crate::flow::{evaluate_model, FlowConfig, FlowReport};
+use crate::observer::{FlowObserver, Stage};
+use crate::scenario::{ScenarioPreset, StandardScenario};
+use crate::weighting::SensitivityWeightedNorm;
+use crate::{CoreError, Result};
+use pim_passivity::check::{assess, PassivityReport};
+use pim_passivity::enforce::{
+    enforce_passivity, enforce_passivity_observed, EnforcementIteration, EnforcementObserver,
+    EnforcementOutcome,
+};
+use pim_passivity::norm::{NormBuilder, NormKind, StandardNorm};
+use pim_passivity::PassivityError;
+use pim_pdn::sensitivity::sensitivity_to_weights;
+use pim_pdn::{analytic_sensitivity, target_impedance, TargetImpedance, TerminationNetwork};
+use pim_rfdata::{NetworkData, ParameterKind};
+use pim_vectfit::{fit_magnitude, vector_fit, MagnitudeFitConfig, SensitivityModel, VfResult};
+
+/// Which least-squares metric a fitting stage minimizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FitKind {
+    /// Plain (unweighted) Vector Fitting — the conventional baseline.
+    Standard,
+    /// Sensitivity-weighted Vector Fitting (weights of eq. 6).
+    Weighted,
+}
+
+/// Artifact of the sensitivity stage.
+#[derive(Debug, Clone)]
+pub struct SensitivityArtifact {
+    /// Target impedance computed from the raw data (the reference curve).
+    pub nominal_impedance: TargetImpedance,
+    /// The sensitivity samples `Ξ_k` (eq. 5).
+    pub sensitivity: Vec<f64>,
+    /// The normalized fitting weights derived from the sensitivity (eq. 6).
+    pub weights: Vec<f64>,
+}
+
+/// Artifact of a fitting stage.
+#[derive(Debug, Clone)]
+pub struct FitArtifact {
+    /// Which metric the fit minimized.
+    pub kind: FitKind,
+    /// The Vector Fitting result (model + error summaries).
+    pub result: VfResult,
+}
+
+/// Artifact of the passivity-assessment stage.
+#[derive(Debug, Clone)]
+pub struct AssessmentArtifact {
+    /// Full assessment of the weighted macromodel on the data grid.
+    pub report: PassivityReport,
+    /// Worst singular value before any enforcement.
+    pub sigma_max_before: f64,
+    /// Upper edge of the data band in rad/s (the enforcement sweep limit).
+    pub band_max_omega: f64,
+}
+
+/// Artifact of an enforcement stage.
+#[derive(Debug, Clone)]
+pub struct EnforcementArtifact {
+    /// The norm family the enforcement minimized.
+    pub norm: NormKind,
+    /// The enforcement outcome; `None` when the assessed model was already
+    /// passive and the loop never ran.
+    pub outcome: Option<EnforcementOutcome>,
+}
+
+/// One entry of a [`Pipeline::sweep`] run.
+#[derive(Debug, Clone)]
+pub struct SweepEntry {
+    /// The preset the scenario was built from.
+    pub preset: ScenarioPreset,
+    /// The full flow report for that scenario.
+    pub report: FlowReport,
+}
+
+/// Forwards per-iteration enforcement events to a [`FlowObserver`], labeled
+/// with the norm being enforced.
+struct NormLabeled<'x> {
+    inner: &'x mut dyn FlowObserver,
+    norm: NormKind,
+}
+
+impl EnforcementObserver for NormLabeled<'_> {
+    fn on_enforcement_iteration(&mut self, event: &EnforcementIteration) {
+        self.inner.on_enforcement_iteration(self.norm, event);
+    }
+}
+
+/// The staged macromodeling pipeline (see the module docs for the stage
+/// graph).
+pub struct Pipeline<'a> {
+    data: &'a NetworkData,
+    network: &'a TerminationNetwork,
+    observation_port: usize,
+    config: FlowConfig,
+    observer: Option<&'a mut dyn FlowObserver>,
+    sensitivity: Option<SensitivityArtifact>,
+    standard_fit: Option<VfResult>,
+    weighted_fit: Option<VfResult>,
+    weighting: Option<SensitivityModel>,
+    assessment: Option<AssessmentArtifact>,
+    enforcements: Vec<(NormKind, EnforcementArtifact)>,
+    failed_enforcements: Vec<(NormKind, usize, f64)>,
+}
+
+impl<'a> Pipeline<'a> {
+    /// Creates a pipeline over tabulated scattering data and a termination
+    /// scheme.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] when the data is not in the
+    /// scattering representation.
+    pub fn from_data(
+        data: &'a NetworkData,
+        network: &'a TerminationNetwork,
+        observation_port: usize,
+        config: FlowConfig,
+    ) -> Result<Self> {
+        if data.kind() != ParameterKind::Scattering {
+            return Err(CoreError::InvalidInput("the flow requires scattering data".into()));
+        }
+        Ok(Pipeline {
+            data,
+            network,
+            observation_port,
+            config,
+            observer: None,
+            sensitivity: None,
+            standard_fit: None,
+            weighted_fit: None,
+            weighting: None,
+            assessment: None,
+            enforcements: Vec::new(),
+            failed_enforcements: Vec::new(),
+        })
+    }
+
+    /// Creates a pipeline over an assembled [`StandardScenario`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Pipeline::from_data`].
+    pub fn from_scenario(scenario: &'a StandardScenario, config: FlowConfig) -> Result<Self> {
+        Pipeline::from_data(&scenario.data, &scenario.network, scenario.observation_port, config)
+    }
+
+    /// Attaches an observer; stage boundaries and enforcement iterations are
+    /// reported to it. Observation never changes numerics.
+    #[must_use]
+    pub fn with_observer(mut self, observer: &'a mut dyn FlowObserver) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// The flow configuration this pipeline runs with.
+    pub fn config(&self) -> &FlowConfig {
+        &self.config
+    }
+
+    fn stage_start(&mut self, stage: Stage) {
+        if let Some(obs) = self.observer.as_deref_mut() {
+            obs.on_stage_start(stage);
+        }
+    }
+
+    fn stage_done(&mut self, stage: Stage) {
+        if let Some(obs) = self.observer.as_deref_mut() {
+            obs.on_stage_done(stage);
+        }
+    }
+
+    fn stage_failed(&mut self, stage: Stage) {
+        if let Some(obs) = self.observer.as_deref_mut() {
+            obs.on_stage_failed(stage);
+        }
+    }
+
+    /// Sensitivity stage: nominal target impedance, sensitivity samples
+    /// `Ξ_k` and normalized fitting weights.
+    ///
+    /// # Errors
+    ///
+    /// Propagates impedance and sensitivity computation failures.
+    pub fn sensitivity(&mut self) -> Result<SensitivityArtifact> {
+        if self.sensitivity.is_none() {
+            self.stage_start(Stage::Sensitivity);
+            let nominal_impedance =
+                target_impedance(self.data, self.network, self.observation_port)?;
+            let sensitivity = analytic_sensitivity(self.data, self.network, self.observation_port)?;
+            let weights = sensitivity_to_weights(&sensitivity, self.config.weight_floor)?;
+            self.sensitivity =
+                Some(SensitivityArtifact { nominal_impedance, sensitivity, weights });
+            self.stage_done(Stage::Sensitivity);
+        }
+        Ok(self.sensitivity.clone().expect("sensitivity artifact just cached"))
+    }
+
+    /// Fitting stage: Vector Fitting of the scattering data under the given
+    /// metric. The weighted fit pulls the sensitivity stage in on demand.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fitting failures (and, for [`FitKind::Weighted`], failures
+    /// of the sensitivity stage).
+    pub fn fit(&mut self, kind: FitKind) -> Result<FitArtifact> {
+        let cached = match kind {
+            FitKind::Standard => self.standard_fit.is_some(),
+            FitKind::Weighted => self.weighted_fit.is_some(),
+        };
+        if !cached {
+            let weights = match kind {
+                FitKind::Standard => None,
+                FitKind::Weighted => Some(self.sensitivity()?.weights),
+            };
+            self.stage_start(Stage::Fit(kind));
+            let result = vector_fit(self.data, weights.as_deref(), &self.config.vf)?;
+            match kind {
+                FitKind::Standard => self.standard_fit = Some(result),
+                FitKind::Weighted => self.weighted_fit = Some(result),
+            }
+            self.stage_done(Stage::Fit(kind));
+        }
+        let result = match kind {
+            FitKind::Standard => self.standard_fit.clone(),
+            FitKind::Weighted => self.weighted_fit.clone(),
+        };
+        Ok(FitArtifact { kind, result: result.expect("fit artifact just cached") })
+    }
+
+    /// Weighting-model stage: Magnitude Vector Fitting of the sensitivity
+    /// samples into the stable minimum-phase model `Ξ̃(s)` (eq. 15–17). The
+    /// DC point is skipped — `ω = 0` is degenerate under the `x = ω²`
+    /// mapping.
+    ///
+    /// # Errors
+    ///
+    /// Propagates magnitude-fit failures (and sensitivity-stage failures).
+    pub fn weighting_model(&mut self) -> Result<SensitivityModel> {
+        if self.weighting.is_none() {
+            let sens = self.sensitivity()?;
+            self.stage_start(Stage::WeightingModel);
+            let omegas = self.data.grid().omegas();
+            let (fit_omegas, fit_xi): (Vec<f64>, Vec<f64>) = omegas
+                .iter()
+                .zip(&sens.sensitivity)
+                .filter(|(&w, _)| w > 0.0)
+                .map(|(&w, &x)| (w, x))
+                .unzip();
+            let model = fit_magnitude(
+                &fit_omegas,
+                &fit_xi,
+                &MagnitudeFitConfig { order: self.config.sensitivity_order, ..Default::default() },
+            )?;
+            self.weighting = Some(model);
+            self.stage_done(Stage::WeightingModel);
+        }
+        Ok(self.weighting.clone().expect("weighting model just cached"))
+    }
+
+    /// Assessment stage: Hamiltonian test plus singular-value sweep of the
+    /// weighted macromodel on the data grid.
+    ///
+    /// # Errors
+    ///
+    /// Propagates assessment failures (and weighted-fit failures).
+    pub fn assess(&mut self) -> Result<AssessmentArtifact> {
+        if self.assessment.is_none() {
+            let fit = self.fit(FitKind::Weighted)?;
+            self.stage_start(Stage::Assessment);
+            let omegas = self.data.grid().omegas();
+            let band_max_omega = omegas.iter().copied().fold(0.0_f64, f64::max);
+            let report = assess(&fit.result.model, &omegas)?;
+            let sigma_max_before = report.sigma_max;
+            self.assessment = Some(AssessmentArtifact { report, sigma_max_before, band_max_omega });
+            self.stage_done(Stage::Assessment);
+        }
+        Ok(self.assessment.clone().expect("assessment just cached"))
+    }
+
+    /// Enforcement stage under one of the built-in norms.
+    ///
+    /// Returns an artifact with `outcome: None` when the assessed model is
+    /// already passive. For an application-defined norm use
+    /// [`Pipeline::enforce_with`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidInput`] for [`NormKind::Custom`]; otherwise
+    /// propagates norm-construction and enforcement failures (including
+    /// [`PassivityError::NotConverged`] when the iteration budget runs out).
+    pub fn enforce(&mut self, kind: NormKind) -> Result<EnforcementArtifact> {
+        match kind {
+            NormKind::Standard => self.enforce_with(&StandardNorm),
+            NormKind::SensitivityWeighted => {
+                // Build the weighting model first so the builder can capture
+                // it; cached after the first call.
+                let weighting = self.weighting_model()?;
+                self.enforce_with(&SensitivityWeightedNorm::new(weighting))
+            }
+            NormKind::Custom(name) => Err(CoreError::InvalidInput(format!(
+                "custom norm '{name}' has no built-in builder; use Pipeline::enforce_with"
+            ))),
+        }
+    }
+
+    /// Enforcement stage under a caller-supplied [`NormBuilder`] — the
+    /// extension point for hybrid or experimental norms.
+    ///
+    /// Successful artifacts are cached per [`NormKind`], and so are
+    /// [`PassivityError::NotConverged`] failures (the loop is deterministic,
+    /// so a re-run could only repeat the failure): re-enforcing with the
+    /// same kind returns the cached result without re-running the loop or
+    /// re-emitting observer events. Other errors are not cached.
+    ///
+    /// # Errors
+    ///
+    /// See [`Pipeline::enforce`].
+    pub fn enforce_with(&mut self, builder: &dyn NormBuilder) -> Result<EnforcementArtifact> {
+        let kind = builder.kind();
+        if let Some((_, artifact)) = self.enforcements.iter().find(|(k, _)| *k == kind) {
+            return Ok(artifact.clone());
+        }
+        if let Some(&(_, iterations, sigma_max)) =
+            self.failed_enforcements.iter().find(|(k, _, _)| *k == kind)
+        {
+            return Err(CoreError::Passivity(PassivityError::NotConverged {
+                iterations,
+                sigma_max,
+            }));
+        }
+        let assessment = self.assess()?;
+        if assessment.report.passive {
+            let artifact = EnforcementArtifact { norm: kind, outcome: None };
+            self.enforcements.push((kind, artifact.clone()));
+            return Ok(artifact);
+        }
+        let norm = builder
+            .build(&self.weighted_fit.as_ref().expect("assess caches the weighted fit").model)?;
+        self.stage_start(Stage::Enforcement(kind));
+        // Split-borrow: the model lives in `self.weighted_fit`, the observer
+        // in `self.observer`; the field borrows are disjoint.
+        let model = &self.weighted_fit.as_ref().expect("cached above").model;
+        let result = match self.observer.as_deref_mut() {
+            Some(inner) => {
+                let mut labeled = NormLabeled { inner, norm: kind };
+                enforce_passivity_observed(
+                    model,
+                    &norm,
+                    assessment.band_max_omega,
+                    &self.config.enforcement,
+                    &mut labeled,
+                )
+            }
+            None => {
+                enforce_passivity(model, &norm, assessment.band_max_omega, &self.config.enforcement)
+            }
+        };
+        let outcome = match result {
+            Ok(outcome) => outcome,
+            Err(e) => {
+                // Tell the observer the iterations it saw belong to a failed
+                // attempt, and pin deterministic non-convergence so a retry
+                // does not re-run the loop (and double the recorded trace).
+                self.stage_failed(Stage::Enforcement(kind));
+                if let PassivityError::NotConverged { iterations, sigma_max } = e {
+                    self.failed_enforcements.push((kind, iterations, sigma_max));
+                }
+                return Err(e.into());
+            }
+        };
+        self.stage_done(Stage::Enforcement(kind));
+        let artifact = EnforcementArtifact { norm: kind, outcome: Some(outcome) };
+        self.enforcements.push((kind, artifact.clone()));
+        Ok(artifact)
+    }
+
+    /// Evaluates an arbitrary macromodel against this pipeline's data and
+    /// nominal impedance (scattering RMS error + target-impedance error).
+    ///
+    /// # Errors
+    ///
+    /// Propagates sampling and impedance computation failures.
+    pub fn evaluate(
+        &mut self,
+        model: &pim_statespace::PoleResidueModel,
+    ) -> Result<crate::flow::ModelEvaluation> {
+        let sens = self.sensitivity()?;
+        evaluate_model(
+            model,
+            self.data,
+            self.network,
+            self.observation_port,
+            &sens.nominal_impedance,
+        )
+    }
+
+    /// Runs every remaining stage and assembles the full [`FlowReport`].
+    ///
+    /// The stage order, the enforcement policy (the weighted enforcement
+    /// must succeed; the standard baseline tolerates
+    /// [`PassivityError::NotConverged`]) and the resulting numbers are
+    /// identical to the legacy [`crate::flow::run_flow`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates failures of the individual stages.
+    pub fn report(&mut self) -> Result<FlowReport> {
+        let sens = self.sensitivity()?;
+        let standard_fit = self.fit(FitKind::Standard)?.result;
+        let weighted_fit = self.fit(FitKind::Weighted)?.result;
+        let sensitivity_model = self.weighting_model()?;
+        let assessment = self.assess()?;
+
+        let weighted_enforcement = self.enforce(NormKind::SensitivityWeighted)?.outcome;
+        let standard_enforcement =
+            if !assessment.report.passive && self.config.run_standard_enforcement {
+                // The baseline is only a comparison curve: a NotConverged failure
+                // is reported as absent rather than failing the flow.
+                match self.enforce(NormKind::Standard) {
+                    Ok(artifact) => artifact.outcome,
+                    Err(CoreError::Passivity(PassivityError::NotConverged { .. })) => None,
+                    Err(e) => return Err(e),
+                }
+            } else {
+                None
+            };
+
+        self.stage_start(Stage::Evaluation);
+        let standard_model_eval = evaluate_model(
+            &standard_fit.model,
+            self.data,
+            self.network,
+            self.observation_port,
+            &sens.nominal_impedance,
+        )?;
+        let weighted_model_eval = evaluate_model(
+            &weighted_fit.model,
+            self.data,
+            self.network,
+            self.observation_port,
+            &sens.nominal_impedance,
+        )?;
+        // The final passive model is borrowed, not cloned: enforcement
+        // artifacts are owned values already.
+        let weighted_passive_model = match &weighted_enforcement {
+            Some(out) => &out.model,
+            None => &weighted_fit.model,
+        };
+        let weighted_passive_eval = evaluate_model(
+            weighted_passive_model,
+            self.data,
+            self.network,
+            self.observation_port,
+            &sens.nominal_impedance,
+        )?;
+        let standard_passive_eval = match &standard_enforcement {
+            Some(out) => Some(evaluate_model(
+                &out.model,
+                self.data,
+                self.network,
+                self.observation_port,
+                &sens.nominal_impedance,
+            )?),
+            None => None,
+        };
+        self.stage_done(Stage::Evaluation);
+
+        Ok(FlowReport {
+            nominal_impedance: sens.nominal_impedance,
+            sensitivity: sens.sensitivity,
+            weights: sens.weights,
+            sensitivity_model,
+            standard_fit,
+            weighted_fit,
+            sigma_max_before: assessment.sigma_max_before,
+            weighted_enforcement,
+            standard_enforcement,
+            standard_model_eval,
+            weighted_model_eval,
+            weighted_passive_eval,
+            standard_passive_eval,
+        })
+    }
+
+    /// Batch runner: builds every preset scenario and runs the full flow on
+    /// each, returning one [`FlowReport`] per preset.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scenario-construction and flow failures of any preset.
+    pub fn sweep(presets: &[ScenarioPreset], config: &FlowConfig) -> Result<Vec<SweepEntry>> {
+        let mut entries = Vec::with_capacity(presets.len());
+        for &preset in presets {
+            let scenario = preset.build()?;
+            let report = Pipeline::from_scenario(&scenario, config.clone())?.report()?;
+            entries.push(SweepEntry { preset, report });
+        }
+        Ok(entries)
+    }
+}

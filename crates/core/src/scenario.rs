@@ -78,6 +78,105 @@ impl ScenarioConfig {
     }
 }
 
+/// The built-in scenario registry: named board/termination shapes the
+/// pipeline can build and sweep without hand-assembling a
+/// [`ScenarioConfig`].
+///
+/// `Reduced` and `Paper` are the historical test-size and paper-size
+/// configurations; the others open scenario diversity (decap-dense boards,
+/// multiple VRMs, a minimal smoke board) so batch runs exercise the
+/// weighted-vs-standard comparison across structurally different PDNs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScenarioPreset {
+    /// The reduced test-size board (4×4 grid, 2 die + 1 decap + 1 VRM,
+    /// 81 frequency samples).
+    Reduced,
+    /// The paper-size board (6×6 grid, 4 die + 3 decap + 1 VRM,
+    /// 161 frequency samples) — the default [`ScenarioConfig`].
+    Paper,
+    /// A densely decoupled board: the reduced 4×4 grid with three decap
+    /// banks spread around the die instead of one.
+    DenseDecap,
+    /// A multi-VRM board: 5×5 grid fed by two VRM ports on opposite corners.
+    MultiVrm,
+    /// A bulk-regulation variant of the reduced board: large
+    /// electrolytic-style decap banks, a weaker VRM and a heavier die load.
+    BulkDecap,
+}
+
+impl ScenarioPreset {
+    /// Every built-in preset, in registry order.
+    pub const ALL: [ScenarioPreset; 5] = [
+        ScenarioPreset::Reduced,
+        ScenarioPreset::Paper,
+        ScenarioPreset::DenseDecap,
+        ScenarioPreset::MultiVrm,
+        ScenarioPreset::BulkDecap,
+    ];
+
+    /// Stable lowercase identifier (for reports and CLI surfaces).
+    pub fn name(self) -> &'static str {
+        match self {
+            ScenarioPreset::Reduced => "reduced",
+            ScenarioPreset::Paper => "paper",
+            ScenarioPreset::DenseDecap => "dense-decap",
+            ScenarioPreset::MultiVrm => "multi-vrm",
+            ScenarioPreset::BulkDecap => "bulk-decap",
+        }
+    }
+
+    /// The scenario configuration this preset stands for.
+    pub fn config(self) -> ScenarioConfig {
+        match self {
+            ScenarioPreset::Reduced => ScenarioConfig::reduced(),
+            ScenarioPreset::Paper => ScenarioConfig::default(),
+            ScenarioPreset::DenseDecap => {
+                let mut cfg = ScenarioConfig::reduced();
+                // Three decap banks spread around the die instead of one.
+                cfg.board.decap_ports = vec![(0, 3), (3, 3), (0, 0)];
+                cfg
+            }
+            ScenarioPreset::MultiVrm => ScenarioConfig {
+                board: PdnBoardSpec {
+                    nx: 5,
+                    ny: 5,
+                    die_ports: vec![(2, 2), (2, 1)],
+                    decap_ports: vec![(0, 4), (4, 4)],
+                    vrm_ports: vec![(0, 0), (4, 0)],
+                    ..PdnBoardSpec::default()
+                },
+                frequency_samples: 80,
+                // Two VRM phases: each leg is individually weaker than the
+                // single nominal regulator.
+                vrm_resistance: 1.5e-3,
+                vrm_inductance: 22e-9,
+                ..ScenarioConfig::default()
+            },
+            ScenarioPreset::BulkDecap => ScenarioConfig {
+                // Bulk electrolytic-style decoupling, a weaker regulator and
+                // a heavier die load on the reduced board.
+                decap_capacitance: 47e-6,
+                decap_esr: 8e-3,
+                decap_esl: 1.2e-9,
+                vrm_resistance: 2e-3,
+                vrm_inductance: 40e-9,
+                die_resistance: 50e-3,
+                die_capacitance: 100e-9,
+                ..ScenarioConfig::reduced()
+            },
+        }
+    }
+
+    /// Builds the preset scenario.
+    ///
+    /// # Errors
+    ///
+    /// See [`StandardScenario::build`].
+    pub fn build(self) -> Result<StandardScenario> {
+        StandardScenario::build(self.config())
+    }
+}
+
 /// The assembled reproduction scenario: the synthetic "field-solver" data set
 /// and the nominal termination network.
 #[derive(Debug, Clone)]
@@ -191,6 +290,27 @@ mod tests {
         let low = xi[1];
         let high = xi[xi.len() - 1];
         assert!(low > 30.0 * high, "sensitivity contrast too small: low {low}, high {high}");
+    }
+
+    #[test]
+    fn presets_build_and_keep_distinct_names() {
+        let mut names = std::collections::HashSet::new();
+        for preset in ScenarioPreset::ALL {
+            assert!(names.insert(preset.name()), "duplicate preset name {}", preset.name());
+        }
+        assert_eq!(ScenarioPreset::Reduced.config().board.nx, 4);
+        assert_eq!(ScenarioPreset::Paper.config().board.nx, 6);
+        // The cheap presets must assemble; Paper is covered by the default
+        // ScenarioConfig tests (it is the same configuration).
+        for preset in
+            [ScenarioPreset::DenseDecap, ScenarioPreset::MultiVrm, ScenarioPreset::BulkDecap]
+        {
+            let sc = preset.build().unwrap();
+            assert_eq!(sc.network.ports(), sc.data.ports());
+            assert!(sc.pdn.die_ports.contains(&sc.observation_port));
+        }
+        assert_eq!(ScenarioPreset::DenseDecap.build().unwrap().pdn.decap_ports.len(), 3);
+        assert_eq!(ScenarioPreset::MultiVrm.build().unwrap().pdn.vrm_ports.len(), 2);
     }
 
     #[test]

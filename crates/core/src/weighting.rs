@@ -1,8 +1,10 @@
 //! Construction of the sensitivity-weighted perturbation norm
 //! (eq. 14–21 of the paper).
 
-use crate::Result;
+use crate::{CoreError, Result};
 use pim_passivity::enforce::PerturbationNorm;
+use pim_passivity::norm::{NormBuilder, NormKind};
+use pim_passivity::PassivityError;
 use pim_statespace::gramian::weighted_element_gramian;
 use pim_statespace::{PoleResidueModel, StateSpace};
 use pim_vectfit::SensitivityModel;
@@ -52,6 +54,45 @@ pub fn sensitivity_weighted_norm(
     let states = element.order();
     let blocks = vec![gramian; ports * ports];
     Ok(PerturbationNorm::from_gramians(blocks, ports, states)?)
+}
+
+/// [`NormBuilder`] for the paper's sensitivity-weighted norm: captures the
+/// weighting model `Ξ̃(s)` and instantiates the cascade-Gramian norm of
+/// eq. (19)–(21) for any macromodel handed to [`NormBuilder::build`].
+///
+/// This is the pluggable counterpart of [`sensitivity_weighted_norm`]: the
+/// enforcement plumbing (`pim_passivity` and the pipeline) treats it
+/// uniformly with [`pim_passivity::StandardNorm`] and any future hybrid.
+#[derive(Debug, Clone)]
+pub struct SensitivityWeightedNorm {
+    weighting: SensitivityModel,
+}
+
+impl SensitivityWeightedNorm {
+    /// Wraps a fitted weighting model `Ξ̃(s)`.
+    pub fn new(weighting: SensitivityModel) -> Self {
+        SensitivityWeightedNorm { weighting }
+    }
+
+    /// The weighting model this builder applies.
+    pub fn weighting_model(&self) -> &SensitivityModel {
+        &self.weighting
+    }
+}
+
+impl NormBuilder for SensitivityWeightedNorm {
+    fn kind(&self) -> NormKind {
+        NormKind::SensitivityWeighted
+    }
+
+    fn build(&self, model: &PoleResidueModel) -> pim_passivity::Result<PerturbationNorm> {
+        sensitivity_weighted_norm(model, &self.weighting).map_err(|e| match e {
+            CoreError::Passivity(p) => p,
+            CoreError::StateSpace(s) => PassivityError::StateSpace(s),
+            CoreError::Linalg(l) => PassivityError::Linalg(l),
+            other => PassivityError::InvalidInput(other.to_string()),
+        })
+    }
 }
 
 #[cfg(test)]
@@ -152,6 +193,23 @@ mod tests {
             ratio_weighted > 3.0 * ratio_plain,
             "weighted {ratio_weighted} vs plain {ratio_plain}"
         );
+    }
+
+    #[test]
+    fn builder_matches_the_direct_construction() {
+        let model = two_port_model();
+        let weight = lowpass_weight();
+        let direct = sensitivity_weighted_norm(&model, &weight).unwrap();
+        let weight_order = weight.order();
+        let builder = SensitivityWeightedNorm::new(weight);
+        assert_eq!(builder.kind(), NormKind::SensitivityWeighted);
+        assert_eq!(builder.weighting_model().order(), weight_order);
+        let built = builder.build(&model).unwrap();
+        assert_eq!(built.ports(), direct.ports());
+        assert_eq!(built.states(), direct.states());
+        for (a, b) in built.gramians().iter().zip(direct.gramians()) {
+            assert_eq!(a.max_abs_diff(b), 0.0);
+        }
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub struct PassivityReport {
 }
 
 /// Builds the Hamiltonian matrix associated with the scattering state-space
-/// model (reference [14] of the paper). Its purely imaginary eigenvalues are
+/// model (reference \[14\] of the paper). Its purely imaginary eigenvalues are
 /// the frequencies at which a singular value of `S(jω)` crosses one.
 ///
 /// The assembly exploits the 2×2 block structure of the Hamiltonian,

@@ -153,6 +153,37 @@ impl Default for EnforcementConfig {
     }
 }
 
+/// Snapshot of one outer enforcement iteration, delivered to an
+/// [`EnforcementObserver`] right after the iteration's perturbation is
+/// accepted.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnforcementIteration {
+    /// 1-based index of the iteration within the loop.
+    pub iteration: usize,
+    /// Worst singular value that triggered this iteration (before the
+    /// perturbation).
+    pub sigma_before: f64,
+    /// Worst singular value of the accepted perturbed model, measured on the
+    /// working sweep grid.
+    pub sigma_after: f64,
+    /// Backtracking step fraction actually taken (1.0 = full step).
+    pub step: f64,
+    /// Perturbation norm `‖δS‖²` added by this iteration.
+    pub norm_increment: f64,
+    /// Number of linearized singular-value constraints in the QP.
+    pub constraints: usize,
+}
+
+/// Per-iteration observer hook of the enforcement loop.
+///
+/// Implementations receive one [`EnforcementIteration`] per outer iteration;
+/// the hook is purely observational — it cannot alter the loop, and running
+/// with or without an observer produces bit-identical models.
+pub trait EnforcementObserver {
+    /// Called once per outer iteration, after the perturbation is applied.
+    fn on_enforcement_iteration(&mut self, event: &EnforcementIteration);
+}
+
 /// Result of a passivity enforcement run.
 #[derive(Debug, Clone)]
 pub struct EnforcementOutcome {
@@ -227,6 +258,34 @@ pub fn enforce_passivity(
     norm: &PerturbationNorm,
     band_max_omega: f64,
     config: &EnforcementConfig,
+) -> Result<EnforcementOutcome> {
+    enforce_passivity_impl(model, norm, band_max_omega, config, None)
+}
+
+/// [`enforce_passivity`] with a per-iteration observer.
+///
+/// The observer receives one [`EnforcementIteration`] after each outer
+/// iteration; numerics are identical to the unobserved loop.
+///
+/// # Errors
+///
+/// See [`enforce_passivity`].
+pub fn enforce_passivity_observed(
+    model: &PoleResidueModel,
+    norm: &PerturbationNorm,
+    band_max_omega: f64,
+    config: &EnforcementConfig,
+    observer: &mut dyn EnforcementObserver,
+) -> Result<EnforcementOutcome> {
+    enforce_passivity_impl(model, norm, band_max_omega, config, Some(observer))
+}
+
+fn enforce_passivity_impl(
+    model: &PoleResidueModel,
+    norm: &PerturbationNorm,
+    band_max_omega: f64,
+    config: &EnforcementConfig,
+    mut observer: Option<&mut dyn EnforcementObserver>,
 ) -> Result<EnforcementOutcome> {
     if norm.ports() != model.ports() || norm.states() != model.order() {
         return Err(PassivityError::InvalidInput(format!(
@@ -371,7 +430,18 @@ pub fn enforce_passivity(
                 || candidate_sigma <= report.sigma_max * (1.0 + 1e-9)
                 || step <= 1.0 / 16.0
             {
-                accumulated_norm += norm.evaluate(&scaled)?;
+                let norm_increment = norm.evaluate(&scaled)?;
+                accumulated_norm += norm_increment;
+                if let Some(obs) = observer.as_deref_mut() {
+                    obs.on_enforcement_iteration(&EnforcementIteration {
+                        iteration: iterations,
+                        sigma_before: report.sigma_max,
+                        sigma_after: candidate_sigma,
+                        step,
+                        norm_increment,
+                        constraints: cons.rows(),
+                    });
+                }
                 current = candidate;
                 break;
             }
@@ -509,6 +579,41 @@ mod tests {
                 assert!(sigma_max > 1.0);
             }
             other => panic!("expected NotConverged, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn observed_enforcement_is_bit_identical_and_reports_every_iteration() {
+        struct Collect(Vec<EnforcementIteration>);
+        impl EnforcementObserver for Collect {
+            fn on_enforcement_iteration(&mut self, event: &EnforcementIteration) {
+                self.0.push(*event);
+            }
+        }
+        let model = violating_one_port();
+        let norm = PerturbationNorm::standard(&model).unwrap();
+        let cfg = EnforcementConfig { sweep_points: 200, ..Default::default() };
+        let plain = enforce_passivity(&model, &norm, 5000.0, &cfg).unwrap();
+        let mut obs = Collect(Vec::new());
+        let observed = enforce_passivity_observed(&model, &norm, 5000.0, &cfg, &mut obs).unwrap();
+        // Bit-identical outcome.
+        assert_eq!(plain.iterations, observed.iterations);
+        assert_eq!(plain.accumulated_norm.to_bits(), observed.accumulated_norm.to_bits());
+        for (a, b) in plain.sigma_max_history.iter().zip(&observed.sigma_max_history) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in plain.model.residues().iter().zip(observed.model.residues()) {
+            assert_eq!(a.max_abs_diff(b), 0.0);
+        }
+        // One event per outer iteration, consistent with the outcome.
+        assert_eq!(obs.0.len(), observed.iterations);
+        let total: f64 = obs.0.iter().map(|e| e.norm_increment).sum();
+        assert!((total - observed.accumulated_norm).abs() <= 1e-12 * observed.accumulated_norm);
+        for (k, ev) in obs.0.iter().enumerate() {
+            assert_eq!(ev.iteration, k + 1);
+            assert_eq!(ev.sigma_before.to_bits(), observed.sigma_max_history[k].to_bits());
+            assert!(ev.step > 0.0 && ev.step <= 1.0);
+            assert!(ev.constraints >= 1);
         }
     }
 

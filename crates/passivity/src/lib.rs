@@ -16,7 +16,12 @@
 //!   parameterized by the per-element Gramians that define the perturbation
 //!   norm, so the *same* code runs both the standard L2 enforcement (eq. 10)
 //!   and the sensitivity-weighted enforcement of the paper (eq. 20–21, built
-//!   by `pim-core`).
+//!   by `pim-core`), and it reports every outer iteration to an optional
+//!   [`enforce::EnforcementObserver`];
+//! * [`norm`] — the pluggable norm-construction layer: [`norm::NormKind`]
+//!   names the norm families, [`norm::NormBuilder`] abstracts building a
+//!   [`enforce::PerturbationNorm`] for a model, and [`norm::StandardNorm`]
+//!   is the built-in unweighted builder.
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -24,12 +29,17 @@
 pub mod check;
 pub mod constraints;
 pub mod enforce;
+pub mod norm;
 pub mod qp;
 
 pub use check::{
     hamiltonian_crossings, is_passive, singular_value_sweep, PassivityReport, ViolationBand,
 };
-pub use enforce::{enforce_passivity, EnforcementConfig, EnforcementOutcome, PerturbationNorm};
+pub use enforce::{
+    enforce_passivity, enforce_passivity_observed, EnforcementConfig, EnforcementIteration,
+    EnforcementObserver, EnforcementOutcome, PerturbationNorm,
+};
+pub use norm::{NormBuilder, NormKind, StandardNorm};
 
 use std::error::Error;
 use std::fmt;

@@ -8,7 +8,7 @@
 //!
 //! 1. the squared magnitude `Ξ_k²` is fitted as a rational function of
 //!    `x = ω²` (this is the Magnitude Vector Fitting step, references
-//!    [24]–[25] of the paper);
+//!    \[24\]–\[25\] of the paper);
 //! 2. poles and zeros of the fitted spectral function are mapped back to the
 //!    `s`-plane and the left-half-plane members are selected, yielding the
 //!    minimum-phase spectral factor;
@@ -39,6 +39,20 @@ pub struct MagnitudeFitConfig {
 impl Default for MagnitudeFitConfig {
     fn default() -> Self {
         MagnitudeFitConfig { order: 8, n_iterations: 8, floor: 1e-8 }
+    }
+}
+
+impl MagnitudeFitConfig {
+    /// Default configuration with the given weighting-model order `n_w`.
+    pub fn with_order(order: usize) -> Self {
+        MagnitudeFitConfig { order, ..MagnitudeFitConfig::default() }
+    }
+
+    /// Sets the number of pole-relocation iterations (builder style).
+    #[must_use]
+    pub fn iterations(mut self, n_iterations: usize) -> Self {
+        self.n_iterations = n_iterations;
+        self
     }
 }
 

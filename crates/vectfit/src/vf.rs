@@ -1,7 +1,7 @@
 //! Vector Fitting of tabulated multiport frequency responses.
 //!
 //! This is the classic pole-relocation algorithm of Gustavsen & Semlyen
-//! (reference [8] of the paper) in its "fast" per-element QR-compressed form,
+//! (reference \[8\] of the paper) in its "fast" per-element QR-compressed form,
 //! extended with the per-frequency weighting of eq. (6) that the paper uses to
 //! embed the PDN sensitivity into the fitting metric.
 
@@ -41,6 +41,22 @@ impl Default for VfConfig {
             enforce_symmetry: true,
             initial_poles: None,
         }
+    }
+}
+
+impl VfConfig {
+    /// Default configuration with the given model order (`n_poles`), the
+    /// knob every caller sets; chain [`VfConfig::iterations`] for the second
+    /// most common one.
+    pub fn with_order(n_poles: usize) -> Self {
+        VfConfig { n_poles, ..VfConfig::default() }
+    }
+
+    /// Sets the number of pole-relocation iterations (builder style).
+    #[must_use]
+    pub fn iterations(mut self, n_iterations: usize) -> Self {
+        self.n_iterations = n_iterations;
+        self
     }
 }
 

@@ -1,23 +1,31 @@
-//! Passivity assessment demo (Fig. 4): singular-value sweep and Hamiltonian
-//! crossings of the sensitivity-weighted macromodel before and after
-//! enforcement.
+//! Passivity assessment demo (Fig. 4), running only the pipeline stages it
+//! needs: weighted fit → assessment → weighted enforcement — no standard
+//! fit, no baseline enforcement, no evaluation phase.
 //!
 //! Run with `cargo run --release --example passivity_check`.
 
-use pim_repro::core_flow::{run_flow, FlowConfig, StandardScenario};
+use pim_repro::core_flow::{FitKind, FlowConfig, Pipeline, StandardScenario};
 use pim_repro::passivity::check::singular_value_sweep;
+use pim_repro::passivity::NormKind;
+use pim_repro::PimError;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), PimError> {
     let sc = StandardScenario::reduced()?;
-    let report = run_flow(&sc.data, &sc.network, sc.observation_port, &FlowConfig::default())?;
+    let mut pipeline = Pipeline::from_scenario(&sc, FlowConfig::default())?;
+    let fit = pipeline.fit(FitKind::Weighted)?;
+    let enforcement = pipeline.enforce(NormKind::SensitivityWeighted)?;
+    let final_model = match &enforcement.outcome {
+        Some(out) => &out.model,
+        None => &fit.result.model,
+    };
     let omegas = sc.data.grid().omegas();
-    let before = singular_value_sweep(&report.weighted_fit.model, &omegas)?;
-    let after = singular_value_sweep(report.final_model(), &omegas)?;
+    let before = singular_value_sweep(&fit.result.model, &omegas)?;
+    let after = singular_value_sweep(final_model, &omegas)?;
     println!("{:>12} {:>16} {:>16}", "freq (Hz)", "sigma_max before", "sigma_max after");
     for (k, &f) in sc.data.grid().freqs_hz().iter().enumerate().step_by(6) {
         println!("{:>12.3e} {:>16.9} {:>16.9}", f, before[k][0], after[k][0]);
     }
-    if let Some(out) = &report.weighted_enforcement {
+    if let Some(out) = &enforcement.outcome {
         println!("\nenforcement iterations: {}", out.iterations);
         println!("sigma_max history: {:?}", out.sigma_max_history);
     }

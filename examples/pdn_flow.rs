@@ -1,18 +1,14 @@
-//! Full PDN macromodeling flow on the paper-sized synthetic board, printing
-//! the target-impedance comparison of Figs. 2 and 5 as a table.
+//! Full PDN macromodeling flow through the staged pipeline, printing the
+//! target-impedance comparison of Figs. 2 and 5 as a table.
 //!
 //! Run with `cargo run --release --example pdn_flow`.
 
-use pim_repro::core_flow::{run_flow, FlowConfig, StandardScenario};
+use pim_repro::core_flow::{FlowConfig, Pipeline, ScenarioPreset};
+use pim_repro::PimError;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let scenario = StandardScenario::reduced()?;
-    let report = run_flow(
-        &scenario.data,
-        &scenario.network,
-        scenario.observation_port,
-        &FlowConfig::default(),
-    )?;
+fn main() -> Result<(), PimError> {
+    let scenario = ScenarioPreset::Reduced.build()?;
+    let report = Pipeline::from_scenario(&scenario, FlowConfig::default())?.report()?;
     println!(
         "{:>12} {:>14} {:>14} {:>14} {:>14}",
         "freq (Hz)", "|Z| nominal", "|Z| standard", "|Z| weighted", "|Z| final"

@@ -1,11 +1,15 @@
-//! Quickstart: fit a small synthetic PDN, check passivity, enforce it with
-//! the sensitivity-weighted norm and print the resulting accuracy summary.
+//! Quickstart: run the staged macromodeling pipeline on a small synthetic
+//! PDN — fit, check passivity, enforce it with the sensitivity-weighted norm
+//! and print the resulting accuracy summary plus the per-iteration
+//! enforcement traces recorded by a `TraceObserver`.
 //!
 //! Run with `cargo run --release --example quickstart`.
 
-use pim_repro::core_flow::{run_flow, FlowConfig, StandardScenario};
+use pim_repro::core_flow::{FlowConfig, Pipeline, Stage, StandardScenario, TraceObserver};
+use pim_repro::passivity::NormKind;
+use pim_repro::PimError;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), PimError> {
     let scenario = StandardScenario::reduced()?;
     println!(
         "scenario: {} ports, {} frequency samples ({:.0} Hz - {:.2e} Hz)",
@@ -14,12 +18,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         scenario.data.grid().freqs_hz()[1],
         scenario.data.grid().max_hz()
     );
-    let report = run_flow(
-        &scenario.data,
-        &scenario.network,
-        scenario.observation_port,
-        &FlowConfig::default(),
-    )?;
+    let mut trace = TraceObserver::new();
+    let report = Pipeline::from_scenario(&scenario, FlowConfig::default())?
+        .with_observer(&mut trace)
+        .report()?;
     println!(
         "standard fit   : S rms {:.3e}, target-impedance error {:.1}%",
         report.standard_model_eval.scattering_rms_error,
@@ -49,29 +51,42 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             100.0 * std_eval.impedance_relative_error
         );
     }
-    // iterations_report: worst singular value after each enforcement
-    // iteration under the weighted vs the standard norm. Diagnostic only (no
-    // numerics change) — this is the trajectory to inspect for the open
-    // Fig. 5 anomaly, where the final weighted model's target-impedance
-    // error lands above the standard-norm baseline.
-    if let (Some(w), Some(s)) = (&report.weighted_enforcement, &report.standard_enforcement) {
-        println!("iterations_report: sigma_max per iteration, weighted vs standard norm");
-        let rows = w.sigma_max_history.len().max(s.sigma_max_history.len());
-        for k in 0..rows {
-            let fmt = |h: &[f64]| match h.get(k) {
-                Some(v) => format!("{v:.6}"),
-                None => "    (done)".to_string(),
+    // iterations_report: the per-iteration enforcement traces the observer
+    // recorded, weighted vs standard norm. This is the trajectory to inspect
+    // for the open Fig. 5 anomaly, where the final weighted model's
+    // target-impedance error lands above the standard-norm baseline.
+    let weighted = trace.trace(NormKind::SensitivityWeighted);
+    let standard = trace.trace(NormKind::Standard);
+    if !weighted.is_empty() || !standard.is_empty() {
+        println!("iterations_report: per-iteration trace, weighted vs standard norm");
+        println!(
+            "  {:>4} {:>10} {:>10} {:>11} | {:>10} {:>10} {:>11}",
+            "iter", "w sigma", "w step", "w |dS|^2", "s sigma", "s step", "s |dS|^2"
+        );
+        for k in 0..weighted.len().max(standard.len()) {
+            let fmt = |t: &[&pim_repro::passivity::EnforcementIteration]| match t.get(k) {
+                Some(ev) => format!(
+                    "{:>10.6} {:>10.4} {:>11.3e}",
+                    ev.sigma_after, ev.step, ev.norm_increment
+                ),
+                None => format!("{:>10} {:>10} {:>11}", "(done)", "", ""),
             };
-            println!(
-                "  iter {k:>2}: weighted {:>10}  standard {:>10}",
-                fmt(&w.sigma_max_history),
-                fmt(&s.sigma_max_history)
-            );
+            println!("  {:>4} {} | {}", k + 1, fmt(&weighted), fmt(&standard));
         }
+        let total = |t: &[&pim_repro::passivity::EnforcementIteration]| -> f64 {
+            t.iter().map(|ev| ev.norm_increment).sum()
+        };
         println!(
             "  accumulated perturbation norm: weighted {:.3e}, standard {:.3e}",
-            w.accumulated_norm, s.accumulated_norm
+            total(&weighted),
+            total(&standard)
         );
+        if trace.failed.contains(&Stage::Enforcement(NormKind::Standard)) {
+            println!(
+                "  note: the standard-norm baseline did NOT converge; its trace is the \
+                 failed attempt (shown for diagnosis)"
+            );
+        }
     }
     Ok(())
 }

@@ -1,26 +1,25 @@
 //! Sensitivity analysis of the loaded PDN (Fig. 3): the first-order
-//! sensitivity of the target impedance is computed analytically, verified by
-//! Monte Carlo, and fitted with Magnitude Vector Fitting.
+//! sensitivity of the target impedance is computed analytically (pipeline
+//! sensitivity stage), verified by Monte Carlo, and fitted with Magnitude
+//! Vector Fitting (pipeline weighting-model stage).
 //!
 //! Run with `cargo run --release --example sensitivity_analysis`.
 
-use pim_repro::core_flow::StandardScenario;
-use pim_repro::pdn::{analytic_sensitivity, monte_carlo_sensitivity, SensitivityOptions};
-use pim_repro::vectfit::{fit_magnitude, MagnitudeFitConfig};
+use pim_repro::core_flow::{FlowConfig, Pipeline, StandardScenario};
+use pim_repro::pdn::{monte_carlo_sensitivity, SensitivityOptions};
+use pim_repro::PimError;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), PimError> {
     let sc = StandardScenario::reduced()?;
-    let xi = analytic_sensitivity(&sc.data, &sc.network, sc.observation_port)?;
+    let mut pipeline = Pipeline::from_scenario(&sc, FlowConfig::default())?;
+    let sensitivity = pipeline.sensitivity()?;
+    let model = pipeline.weighting_model()?;
     let mc = monte_carlo_sensitivity(
         &sc.data,
         &sc.network,
         sc.observation_port,
         &SensitivityOptions { trials: 32, ..Default::default() },
     )?;
-    let omegas = sc.data.grid().omegas();
-    let (fo, fx): (Vec<f64>, Vec<f64>) =
-        omegas.iter().zip(&xi).filter(|(&w, _)| w > 0.0).map(|(&w, &x)| (w, x)).unzip();
-    let model = fit_magnitude(&fo, &fx, &MagnitudeFitConfig { order: 8, ..Default::default() })?;
     println!(
         "{:>12} {:>14} {:>14} {:>14}",
         "freq (Hz)", "Xi analytic", "Xi MonteCarlo", "|Xi~| model"
@@ -33,7 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "{:>12.3e} {:>14.6e} {:>14.6e} {:>14.6e}",
             f,
-            xi[k],
+            sensitivity.sensitivity[k],
             mc[k],
             model.evaluate_magnitude(w)?
         );

@@ -1,48 +1,61 @@
 //! Workspace root crate: re-exports the component crates so that the
 //! examples in `examples/` and the integration tests in `tests/` can use a
-//! single dependency. See the individual crates for the actual library API,
-//! `README.md` for the workspace layout, and `PAPER.md` for the algorithm
-//! the workspace reproduces.
+//! single dependency, and defines the unified [`PimError`] so application
+//! code can `?` across stage boundaries. See the individual crates for the
+//! actual library API, `README.md` for the workspace layout, and `PAPER.md`
+//! for the algorithm the workspace reproduces.
 //!
 //! # Example
 //!
-//! A condensed version of the paper's flow — build the synthetic PDN
-//! scenario, extract the target-impedance sensitivity (eq. 5), run a
-//! sensitivity-weighted Vector Fit (eq. 3–4 with the weights of eq. 6), and
-//! assess the passivity of the resulting macromodel:
+//! The staged [`Pipeline`](core_flow::Pipeline) is the primary entry point:
+//! build a scenario (here the reduced synthetic PDN), then run exactly the
+//! stages you need — each call returns an owned artifact and caches it, so
+//! later stages (or a final [`report()`](core_flow::Pipeline::report)) reuse
+//! the work. The one-shot [`core_flow::run_flow`] remains as a compatibility
+//! wrapper producing the identical `FlowReport`.
 //!
 //! ```
-//! use pim_repro::core_flow::StandardScenario;
-//! use pim_repro::passivity::check::assess;
-//! use pim_repro::pdn::analytic_sensitivity;
-//! use pim_repro::pdn::sensitivity::sensitivity_to_weights;
-//! use pim_repro::vectfit::{vector_fit, VfConfig};
+//! use pim_repro::core_flow::{FitKind, FlowConfig, Pipeline, StandardScenario};
+//! use pim_repro::vectfit::VfConfig;
+//! use pim_repro::PimError;
 //!
-//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # fn main() -> Result<(), PimError> {
 //! let scenario = StandardScenario::reduced()?;
 //!
-//! // Sensitivity of the target impedance to scattering perturbations.
-//! let xi = analytic_sensitivity(&scenario.data, &scenario.network, scenario.observation_port)?;
-//! let weights = sensitivity_to_weights(&xi, 1e-2)?;
+//! // A light configuration for the doc test; FlowConfig::default() is the
+//! // paper-faithful one.
+//! let config = FlowConfig { vf: VfConfig::with_order(10).iterations(3), ..Default::default() };
+//! let mut pipeline = Pipeline::from_scenario(&scenario, config)?;
+//!
+//! // Sensitivity of the target impedance to scattering perturbations
+//! // (eq. 5–6): large at low frequency, small at the top of the band.
+//! let sensitivity = pipeline.sensitivity()?;
+//! assert!(sensitivity.sensitivity[1] > *sensitivity.sensitivity.last().unwrap());
 //!
 //! // Sensitivity-weighted Vector Fitting of the scattering data.
-//! let cfg = VfConfig { n_poles: 10, n_iterations: 3, ..VfConfig::default() };
-//! let fit = vector_fit(&scenario.data, Some(&weights), &cfg)?;
-//! assert!(fit.rms_error.is_finite() && fit.rms_error < 0.1);
+//! let fit = pipeline.fit(FitKind::Weighted)?;
+//! assert!(fit.result.rms_error.is_finite() && fit.result.rms_error < 0.1);
 //!
 //! // Hamiltonian passivity assessment of the fitted macromodel.
-//! let report = assess(&fit.model, &scenario.data.grid().omegas())?;
-//! assert!(report.sigma_max > 0.0);
+//! let assessment = pipeline.assess()?;
+//! assert!(assessment.sigma_max_before > 0.0);
 //! # Ok(())
 //! # }
 //! ```
 //!
 //! The full flow — including the weighted residue-perturbation passivity
-//! enforcement — is wrapped by [`core_flow::run_flow`]
-//! (`cargo run --release --example quickstart`).
+//! enforcement and the standard-norm baseline — is
+//! [`core_flow::Pipeline::report`]
+//! (`cargo run --release --example quickstart`), and
+//! [`core_flow::Pipeline::sweep`] batches it over
+//! [`core_flow::ScenarioPreset`]s.
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
+
+mod error;
+
+pub use error::{PimError, Result};
 
 pub use pim_circuit as circuit;
 pub use pim_core as core_flow;

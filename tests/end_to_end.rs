@@ -2,7 +2,7 @@
 //! impedance, exercising every crate of the workspace together.
 
 use pim_repro::circuit::standard_board;
-use pim_repro::core_flow::{ScenarioConfig, StandardScenario};
+use pim_repro::core_flow::{ScenarioConfig, ScenarioPreset, StandardScenario};
 use pim_repro::passivity::check::assess;
 use pim_repro::pdn::{analytic_sensitivity, target_impedance};
 use pim_repro::rfdata::touchstone::{
@@ -24,33 +24,30 @@ fn board_data_round_trips_through_touchstone() {
 }
 
 #[test]
-fn fitted_model_predicts_the_loaded_impedance() {
-    let sc = StandardScenario::reduced().unwrap();
-    let fit = vector_fit(
-        &sc.data,
-        None,
-        &VfConfig { n_poles: 16, n_iterations: 5, ..VfConfig::default() },
-    )
-    .unwrap();
+fn fitted_model_predicts_the_loaded_impedance() -> pim_repro::Result<()> {
+    // The unified PimError lets `?` cross stage boundaries: scenario
+    // construction (CoreError), fitting (VectFitError), assessment
+    // (PassivityError) and impedance extraction (PdnError) below.
+    let sc = ScenarioPreset::Reduced.build()?;
+    let fit = vector_fit(&sc.data, None, &VfConfig::with_order(16))?;
     assert!(fit.rms_error < 1e-2, "rms error {}", fit.rms_error);
     // The raw data is passive; the plain fit may still carry localized
     // passivity violations (this is precisely why the enforcement stage
     // exists), but its assessment must complete and report finite values.
-    let rep = assess(&fit.model, &sc.data.grid().omegas()).unwrap();
+    let rep = assess(&fit.model, &sc.data.grid().omegas())?;
     assert!(rep.sigma_max.is_finite() && rep.sigma_max > 0.5);
     // The model-based loaded impedance follows the data-based one except
     // where the sensitivity amplifies the fitting error.
-    let z_data = target_impedance(&sc.data, &sc.network, sc.observation_port).unwrap();
-    let sampled = fit
-        .model
-        .sample(sc.data.grid(), pim_repro::rfdata::ParameterKind::Scattering, 50.0)
-        .unwrap();
-    let z_model = target_impedance(&sampled, &sc.network, sc.observation_port).unwrap();
+    let z_data = target_impedance(&sc.data, &sc.network, sc.observation_port)?;
+    let sampled =
+        fit.model.sample(sc.data.grid(), pim_repro::rfdata::ParameterKind::Scattering, 50.0)?;
+    let z_model = target_impedance(&sampled, &sc.network, sc.observation_port)?;
     assert_eq!(z_model.values.len(), z_data.values.len());
     // At the top of the band (low sensitivity) the two agree tightly.
     let last = z_data.values.len() - 1;
     let rel = (z_model.values[last] - z_data.values[last]).abs() / z_data.values[last].abs();
     assert!(rel < 0.15, "high-frequency relative error {rel}");
+    Ok(())
 }
 
 #[test]

@@ -1,0 +1,336 @@
+//! Integration tests of the staged `Pipeline` API: bit-identity with the
+//! legacy `run_flow`, the preset sweep, and the Fig. 5 enforcement-trace
+//! regression fixture.
+
+use pim_repro::core_flow::{
+    run_flow, CoreError, FitKind, FlowConfig, FlowReport, ModelEvaluation, Pipeline,
+    ScenarioPreset, Stage, StandardScenario, TraceObserver,
+};
+use pim_repro::linalg::{CMat, Complex64, Mat};
+use pim_repro::passivity::{EnforcementConfig, EnforcementOutcome, NormKind, PassivityError};
+use pim_repro::statespace::PoleResidueModel;
+use pim_repro::vectfit::VfConfig;
+
+/// The trimmed configuration the in-crate flow tests use: identical
+/// numerics class, fraction of the runtime.
+fn quick_config() -> FlowConfig {
+    FlowConfig {
+        vf: VfConfig { n_poles: 18, n_iterations: 5, ..VfConfig::default() },
+        sensitivity_order: 6,
+        weight_floor: 1e-2,
+        enforcement: EnforcementConfig {
+            sweep_points: 200,
+            sigma_margin: 1e-3,
+            max_iterations: 60,
+            ..Default::default()
+        },
+        run_standard_enforcement: true,
+    }
+}
+
+fn assert_f64_bits(a: f64, b: f64, what: &str) {
+    assert_eq!(a.to_bits(), b.to_bits(), "{what}: {a} vs {b}");
+}
+
+fn assert_complex_bits(a: Complex64, b: Complex64, what: &str) {
+    assert_f64_bits(a.re, b.re, what);
+    assert_f64_bits(a.im, b.im, what);
+}
+
+fn assert_slice_bits(a: &[f64], b: &[f64], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_f64_bits(*x, *y, &format!("{what}[{i}]"));
+    }
+}
+
+fn assert_mat_bits(a: &Mat, b: &Mat, what: &str) {
+    assert_eq!(a.shape(), b.shape(), "{what}: shape");
+    for i in 0..a.rows() {
+        for j in 0..a.cols() {
+            assert_f64_bits(a[(i, j)], b[(i, j)], &format!("{what}[({i},{j})]"));
+        }
+    }
+}
+
+fn assert_cmat_bits(a: &CMat, b: &CMat, what: &str) {
+    assert_eq!(a.shape(), b.shape(), "{what}: shape");
+    for i in 0..a.rows() {
+        for j in 0..a.cols() {
+            assert_complex_bits(a[(i, j)], b[(i, j)], &format!("{what}[({i},{j})]"));
+        }
+    }
+}
+
+fn assert_model_bits(a: &PoleResidueModel, b: &PoleResidueModel, what: &str) {
+    assert_eq!(a.poles().len(), b.poles().len(), "{what}: pole count");
+    for (i, (x, y)) in a.poles().iter().zip(b.poles()).enumerate() {
+        assert_complex_bits(*x, *y, &format!("{what}: pole {i}"));
+    }
+    for (i, (x, y)) in a.residues().iter().zip(b.residues()).enumerate() {
+        assert_cmat_bits(x, y, &format!("{what}: residue {i}"));
+    }
+    assert_mat_bits(a.d(), b.d(), &format!("{what}: D"));
+}
+
+fn assert_eval_bits(a: &ModelEvaluation, b: &ModelEvaluation, what: &str) {
+    assert_f64_bits(a.scattering_rms_error, b.scattering_rms_error, &format!("{what}: S rms"));
+    assert_f64_bits(
+        a.impedance_relative_error,
+        b.impedance_relative_error,
+        &format!("{what}: Z error"),
+    );
+    assert_slice_bits(&a.impedance.freqs_hz, &b.impedance.freqs_hz, &format!("{what}: Z freqs"));
+    for (i, (x, y)) in a.impedance.values.iter().zip(&b.impedance.values).enumerate() {
+        assert_complex_bits(*x, *y, &format!("{what}: Z[{i}]"));
+    }
+}
+
+fn assert_enforcement_bits(
+    a: &Option<EnforcementOutcome>,
+    b: &Option<EnforcementOutcome>,
+    what: &str,
+) {
+    assert_eq!(a.is_some(), b.is_some(), "{what}: presence");
+    if let (Some(x), Some(y)) = (a, b) {
+        assert_eq!(x.iterations, y.iterations, "{what}: iterations");
+        assert_model_bits(&x.model, &y.model, &format!("{what}: model"));
+        assert_slice_bits(&x.sigma_max_history, &y.sigma_max_history, &format!("{what}: history"));
+        assert_f64_bits(x.accumulated_norm, y.accumulated_norm, &format!("{what}: norm"));
+        assert_eq!(x.report.passive, y.report.passive, "{what}: passive flag");
+        assert_f64_bits(x.report.sigma_max, y.report.sigma_max, &format!("{what}: sigma_max"));
+    }
+}
+
+fn assert_report_bits(a: &FlowReport, b: &FlowReport) {
+    assert_slice_bits(&a.nominal_impedance.freqs_hz, &b.nominal_impedance.freqs_hz, "Z freqs");
+    for (i, (x, y)) in
+        a.nominal_impedance.values.iter().zip(&b.nominal_impedance.values).enumerate()
+    {
+        assert_complex_bits(*x, *y, &format!("nominal Z[{i}]"));
+    }
+    assert_slice_bits(&a.sensitivity, &b.sensitivity, "sensitivity");
+    assert_slice_bits(&a.weights, &b.weights, "weights");
+    assert_model_bits(a.sensitivity_model.model(), b.sensitivity_model.model(), "Xi model");
+    assert_model_bits(&a.standard_fit.model, &b.standard_fit.model, "standard fit");
+    assert_f64_bits(a.standard_fit.rms_error, b.standard_fit.rms_error, "standard rms");
+    assert_model_bits(&a.weighted_fit.model, &b.weighted_fit.model, "weighted fit");
+    assert_f64_bits(a.weighted_fit.rms_error, b.weighted_fit.rms_error, "weighted rms");
+    assert_f64_bits(
+        a.weighted_fit.weighted_rms_error,
+        b.weighted_fit.weighted_rms_error,
+        "weighted wrms",
+    );
+    assert_f64_bits(a.sigma_max_before, b.sigma_max_before, "sigma_max_before");
+    assert_enforcement_bits(&a.weighted_enforcement, &b.weighted_enforcement, "weighted enf");
+    assert_enforcement_bits(&a.standard_enforcement, &b.standard_enforcement, "standard enf");
+    assert_eval_bits(&a.standard_model_eval, &b.standard_model_eval, "standard eval");
+    assert_eval_bits(&a.weighted_model_eval, &b.weighted_model_eval, "weighted eval");
+    assert_eval_bits(&a.weighted_passive_eval, &b.weighted_passive_eval, "final eval");
+    assert_eq!(
+        a.standard_passive_eval.is_some(),
+        b.standard_passive_eval.is_some(),
+        "baseline eval presence"
+    );
+    if let (Some(x), Some(y)) = (&a.standard_passive_eval, &b.standard_passive_eval) {
+        assert_eval_bits(x, y, "baseline eval");
+    }
+}
+
+/// The acceptance test of the API redesign: running the stages by hand — in
+/// a scrambled order, with an observer attached — and assembling the report
+/// must reproduce `run_flow`'s `FlowReport` bit for bit.
+#[test]
+fn staged_pipeline_is_bit_identical_to_run_flow() {
+    let sc = StandardScenario::reduced().unwrap();
+    let config = quick_config();
+    let legacy = run_flow(&sc.data, &sc.network, sc.observation_port, &config).unwrap();
+
+    let mut trace = TraceObserver::new();
+    let staged = {
+        let mut pipeline =
+            Pipeline::from_scenario(&sc, config.clone()).unwrap().with_observer(&mut trace);
+        // Deliberately not the run_flow order: enforcement first (pulling in
+        // its prerequisites lazily), then the remaining stages from cache.
+        let enf = pipeline.enforce(NormKind::SensitivityWeighted).unwrap();
+        assert!(enf.outcome.is_some(), "reduced scenario needs enforcement");
+        let _ = pipeline.weighting_model().unwrap();
+        let _ = pipeline.fit(FitKind::Standard).unwrap();
+        let _ = pipeline.fit(FitKind::Weighted).unwrap();
+        let _ = pipeline.sensitivity().unwrap();
+        let _ = pipeline.assess().unwrap();
+        pipeline.report().unwrap()
+    };
+    assert_report_bits(&legacy, &staged);
+
+    // The observer saw the enforcement iterations of both norms and they
+    // reconcile with the outcomes in the report.
+    let weighted = trace.trace(NormKind::SensitivityWeighted);
+    assert_eq!(weighted.len(), staged.weighted_enforcement.as_ref().unwrap().iterations);
+    if let Some(std_out) = &staged.standard_enforcement {
+        assert_eq!(trace.trace(NormKind::Standard).len(), std_out.iterations);
+    }
+    // Stage caching: the scrambled calls above must not have re-run any
+    // stage — one start event per distinct stage.
+    let mut seen = std::collections::HashSet::new();
+    for stage in &trace.started {
+        assert!(seen.insert(*stage), "stage {stage} ran twice");
+    }
+}
+
+/// Artifacts returned early must match the assembled report (owned values,
+/// not views that could drift).
+#[test]
+fn stage_artifacts_match_the_assembled_report() {
+    let sc = StandardScenario::reduced().unwrap();
+    let mut pipeline = Pipeline::from_scenario(&sc, quick_config()).unwrap();
+    let sensitivity = pipeline.sensitivity().unwrap();
+    let weighted = pipeline.fit(FitKind::Weighted).unwrap();
+    let assessment = pipeline.assess().unwrap();
+    let report = pipeline.report().unwrap();
+    assert_slice_bits(&sensitivity.sensitivity, &report.sensitivity, "sensitivity artifact");
+    assert_slice_bits(&sensitivity.weights, &report.weights, "weights artifact");
+    assert_model_bits(&weighted.result.model, &report.weighted_fit.model, "weighted artifact");
+    assert_f64_bits(assessment.sigma_max_before, report.sigma_max_before, "sigma artifact");
+    assert!(!assessment.report.passive);
+}
+
+/// `Pipeline::sweep` batch-runs scenario presets end-to-end; every swept
+/// scenario must reproduce the paper's weighted-beats-standard fit claim.
+#[test]
+fn sweep_runs_presets_end_to_end_and_upholds_the_fit_claim() {
+    let presets = [
+        ScenarioPreset::Reduced,
+        ScenarioPreset::DenseDecap,
+        ScenarioPreset::MultiVrm,
+        ScenarioPreset::BulkDecap,
+    ];
+    let entries = Pipeline::sweep(&presets, &quick_config()).unwrap();
+    assert_eq!(entries.len(), presets.len());
+    for (entry, preset) in entries.iter().zip(presets) {
+        assert_eq!(entry.preset, preset);
+        let r = &entry.report;
+        let name = preset.name();
+        // Fig. 1 claim: the standard fit is a good scattering fit.
+        assert!(
+            r.standard_model_eval.scattering_rms_error < 1e-2,
+            "{name}: standard S rms {}",
+            r.standard_model_eval.scattering_rms_error
+        );
+        // Fig. 2 claim: the weighted fit beats it on the target impedance.
+        assert!(
+            r.weighted_model_eval.impedance_relative_error
+                < r.standard_model_eval.impedance_relative_error,
+            "{name}: weighted fit ({}) must beat standard fit ({})",
+            r.weighted_model_eval.impedance_relative_error,
+            r.standard_model_eval.impedance_relative_error
+        );
+        // The delivered model is passive whenever enforcement ran.
+        if let Some(out) = &r.weighted_enforcement {
+            assert!(out.report.passive, "{name}: weighted enforcement must certify passivity");
+        }
+        assert!(
+            r.weighted_passive_eval.impedance_relative_error.is_finite(),
+            "{name}: final evaluation must be finite"
+        );
+    }
+}
+
+/// A `NotConverged` enforcement is reported to the observer as a failed
+/// stage, cached, and never re-run (which would duplicate the recorded
+/// trace).
+#[test]
+fn not_converged_enforcement_is_cached_and_marked_failed() {
+    let sc = StandardScenario::reduced().unwrap();
+    let mut config = quick_config();
+    config.enforcement.max_iterations = 0; // force NotConverged immediately
+    let mut trace = TraceObserver::new();
+    {
+        let mut pipeline = Pipeline::from_scenario(&sc, config).unwrap().with_observer(&mut trace);
+        let unpack = |e: CoreError| match e {
+            CoreError::Passivity(PassivityError::NotConverged { iterations, sigma_max }) => {
+                (iterations, sigma_max)
+            }
+            other => panic!("expected NotConverged, got {other}"),
+        };
+        let first = unpack(pipeline.enforce(NormKind::Standard).unwrap_err());
+        let second = unpack(pipeline.enforce(NormKind::Standard).unwrap_err());
+        assert_eq!(first.0, 0);
+        assert_eq!(first.0, second.0);
+        assert_eq!(first.1.to_bits(), second.1.to_bits());
+    }
+    let enforcement = Stage::Enforcement(NormKind::Standard);
+    assert_eq!(trace.failed, vec![enforcement]);
+    // The loop ran exactly once: the second call was served from the
+    // failure cache without re-starting the stage.
+    assert_eq!(trace.started.iter().filter(|s| **s == enforcement).count(), 1);
+}
+
+/// Regression fixture for the Fig. 5 anomaly investigation: the weighted and
+/// standard per-iteration enforcement traces on the reduced scenario.
+///
+/// Regenerate with `PIM_REGEN_FIXTURE=1 cargo test --test pipeline fig5`
+/// (running this test with the variable set rewrites the file); review the
+/// diff before committing.
+#[test]
+fn fig5_iteration_traces_match_the_fixture() {
+    const FIXTURE: &str =
+        concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/fig5_iterations.txt");
+    let sc = StandardScenario::reduced().unwrap();
+    let mut trace = TraceObserver::new();
+    let _report = Pipeline::from_scenario(&sc, quick_config())
+        .unwrap()
+        .with_observer(&mut trace)
+        .report()
+        .unwrap();
+
+    let mut lines = vec![
+        "# norm iteration sigma_before sigma_after step norm_increment constraints".to_string(),
+    ];
+    for (kind, label) in
+        [(NormKind::SensitivityWeighted, "weighted"), (NormKind::Standard, "standard")]
+    {
+        for ev in trace.trace(kind) {
+            lines.push(format!(
+                "{label} {} {:.12e} {:.12e} {:.6} {:.12e} {}",
+                ev.iteration,
+                ev.sigma_before,
+                ev.sigma_after,
+                ev.step,
+                ev.norm_increment,
+                ev.constraints
+            ));
+        }
+    }
+    let current = lines.join("\n") + "\n";
+
+    if std::env::var_os("PIM_REGEN_FIXTURE").is_some() {
+        std::fs::write(FIXTURE, &current).expect("write fixture");
+        return;
+    }
+    let expected = std::fs::read_to_string(FIXTURE)
+        .expect("fixture missing; regenerate with PIM_REGEN_FIXTURE=1");
+    let exp_lines: Vec<&str> = expected.lines().collect();
+    let cur_lines: Vec<&str> = current.lines().collect();
+    assert_eq!(
+        exp_lines.len(),
+        cur_lines.len(),
+        "trace length changed; regenerate the fixture if intentional\n{current}"
+    );
+    for (e, c) in exp_lines.iter().zip(&cur_lines).skip(1) {
+        let ef: Vec<&str> = e.split_whitespace().collect();
+        let cf: Vec<&str> = c.split_whitespace().collect();
+        assert_eq!(ef.len(), cf.len(), "field count: {e} vs {c}");
+        // norm label, iteration and constraint count are exact ...
+        assert_eq!(ef[0], cf[0], "norm label: {e} vs {c}");
+        assert_eq!(ef[1], cf[1], "iteration: {e} vs {c}");
+        assert_eq!(ef[6], cf[6], "constraints: {e} vs {c}");
+        // ... floats compare with a 1e-6 relative band (cross-platform libm).
+        for idx in 2..6 {
+            let a: f64 = ef[idx].parse().unwrap();
+            let b: f64 = cf[idx].parse().unwrap();
+            let tol = 1e-6 * a.abs().max(1e-12);
+            assert!((a - b).abs() <= tol, "field {idx} drifted: {e} vs {c}");
+        }
+    }
+}
