@@ -6,11 +6,16 @@
 //! EXPERIMENTS.md for the `PIM_BENCH_JSON` / `PIM_BENCH_SAMPLES` knobs.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use pim_core::scenario::StandardScenario;
+use pim_core::flow::FlowConfig;
+use pim_core::pipeline::Pipeline;
+use pim_core::scenario::{ScenarioPreset, StandardScenario};
 use pim_core::weighting::sensitivity_weighted_norm;
 use pim_passivity::check::assess;
 use pim_passivity::enforce::{enforce_passivity, EnforcementConfig, PerturbationNorm};
-use pim_pdn::{analytic_sensitivity, target_impedance};
+use pim_pdn::{
+    analytic_sensitivity, monte_carlo_sensitivity_with, target_impedance, SensitivityOptions,
+};
+use pim_runtime::ThreadPool;
 use pim_vectfit::{fit_magnitude, vector_fit, MagnitudeFitConfig, VfConfig};
 
 fn bench_figures(c: &mut Criterion) {
@@ -94,6 +99,64 @@ fn bench_figures(c: &mut Criterion) {
                 fit_magnitude(&fo, &fx, &MagnitudeFitConfig { order, ..Default::default() })
                     .expect("fit");
             }
+        })
+    });
+
+    // --- pim-runtime: serial vs parallel trajectories. The parallel
+    // variants are bit-identical to the serial ones (pinned by the
+    // integration/property suites); these benches track the wall-clock
+    // ratio. On a single-core host the ratio is ~1 (the pool degrades to
+    // near-serial scheduling); see EXPERIMENTS.md.
+    let serial_pool = ThreadPool::new(1);
+    // At least 2 threads so the parallel variants exercise the pooled path
+    // even on a single-core host (where the ratio is then ~1 by necessity).
+    let wide_pool =
+        ThreadPool::new(std::thread::available_parallelism().map_or(2, usize::from).max(2));
+    let sweep_presets = [ScenarioPreset::Reduced, ScenarioPreset::Minimal];
+    let sweep_config = FlowConfig {
+        vf: VfConfig { n_poles: 14, n_iterations: 4, ..VfConfig::default() },
+        sensitivity_order: 6,
+        weight_floor: 1e-2,
+        enforcement: EnforcementConfig {
+            sweep_points: 120,
+            sigma_margin: 1e-3,
+            max_iterations: 60,
+            ..Default::default()
+        },
+        run_standard_enforcement: true,
+    };
+    let mut sweeps = c.benchmark_group("runtime");
+    sweeps.sample_size(5);
+    sweeps.bench_function("sweep_presets_serial", |b| {
+        b.iter(|| Pipeline::sweep_with(&serial_pool, &sweep_presets, &sweep_config).expect("sweep"))
+    });
+    sweeps.bench_function("sweep_presets_parallel", |b| {
+        b.iter(|| Pipeline::sweep_with(&wide_pool, &sweep_presets, &sweep_config).expect("sweep"))
+    });
+    sweeps.finish();
+    let mc_options = SensitivityOptions { sigma: 1e-5, trials: 64, seed: 0x5EED_CAFE };
+    c.bench_function("mc_sensitivity_serial", |b| {
+        b.iter(|| {
+            monte_carlo_sensitivity_with(
+                &serial_pool,
+                &sc.data,
+                &sc.network,
+                sc.observation_port,
+                &mc_options,
+            )
+            .expect("mc")
+        })
+    });
+    c.bench_function("mc_sensitivity_parallel", |b| {
+        b.iter(|| {
+            monte_carlo_sensitivity_with(
+                &wide_pool,
+                &sc.data,
+                &sc.network,
+                sc.observation_port,
+                &mc_options,
+            )
+            .expect("mc")
         })
     });
 }

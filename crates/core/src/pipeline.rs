@@ -26,7 +26,7 @@
 //! scenario.
 
 use crate::flow::{evaluate_model, FlowConfig, FlowReport};
-use crate::observer::{FlowObserver, Stage};
+use crate::observer::{FlowObserver, Stage, TraceObserver};
 use crate::scenario::{ScenarioPreset, StandardScenario};
 use crate::weighting::SensitivityWeightedNorm;
 use crate::{CoreError, Result};
@@ -99,6 +99,14 @@ pub struct SweepEntry {
     pub preset: ScenarioPreset,
     /// The full flow report for that scenario.
     pub report: FlowReport,
+    /// The stage/enforcement-iteration trace recorded while this preset ran.
+    ///
+    /// Presets execute concurrently, so a single caller-supplied
+    /// [`FlowObserver`] cannot receive their events without interleaving;
+    /// instead every preset records into its own [`TraceObserver`] buffer
+    /// and the buffers are merged at join, in preset order — events stay
+    /// per-preset and in delivery order.
+    pub trace: TraceObserver,
 }
 
 /// Forwards per-iteration enforcement events to a [`FlowObserver`], labeled
@@ -512,18 +520,47 @@ impl<'a> Pipeline<'a> {
     }
 
     /// Batch runner: builds every preset scenario and runs the full flow on
-    /// each, returning one [`FlowReport`] per preset.
+    /// each, returning one [`FlowReport`] (plus its recorded trace) per
+    /// preset.
+    ///
+    /// Presets run **concurrently** on the [`pim_runtime::global`] pool —
+    /// each produces owned artifacts, so the only shared state is the
+    /// configuration. Entries are collected by preset index and every preset
+    /// records observer events into its own buffer (see
+    /// [`SweepEntry::trace`]), which makes the parallel sweep bit-identical
+    /// to the serial one for every `PIM_THREADS` (`1` forces the serial
+    /// path); the integration suite pins this at the float-bit level.
     ///
     /// # Errors
     ///
-    /// Propagates scenario-construction and flow failures of any preset.
+    /// Propagates scenario-construction and flow failures of any preset;
+    /// when several presets fail, the error of the lowest preset index is
+    /// reported regardless of scheduling order.
     pub fn sweep(presets: &[ScenarioPreset], config: &FlowConfig) -> Result<Vec<SweepEntry>> {
-        let mut entries = Vec::with_capacity(presets.len());
-        for &preset in presets {
+        Pipeline::sweep_with(pim_runtime::global(), presets, config)
+    }
+
+    /// [`Pipeline::sweep`] on an explicit [`pim_runtime::ThreadPool`] (the
+    /// determinism test suites compare pools of different sizes bit for
+    /// bit).
+    ///
+    /// # Errors
+    ///
+    /// See [`Pipeline::sweep`].
+    pub fn sweep_with(
+        pool: &pim_runtime::ThreadPool,
+        presets: &[ScenarioPreset],
+        config: &FlowConfig,
+    ) -> Result<Vec<SweepEntry>> {
+        pool.par_map(presets, |_, &preset| -> Result<SweepEntry> {
             let scenario = preset.build()?;
-            let report = Pipeline::from_scenario(&scenario, config.clone())?.report()?;
-            entries.push(SweepEntry { preset, report });
-        }
-        Ok(entries)
+            let mut trace = TraceObserver::new();
+            let report = Pipeline::from_scenario(&scenario, config.clone())?
+                .with_observer(&mut trace)
+                .report()?;
+            Ok(SweepEntry { preset, report, trace })
+        })
+        .into_iter()
+        .collect()
     }
 }

@@ -102,16 +102,24 @@ pub enum ScenarioPreset {
     /// A bulk-regulation variant of the reduced board: large
     /// electrolytic-style decap banks, a weaker VRM and a heavier die load.
     BulkDecap,
+    /// The minimal smoke board: a 3×3 grid with one die, one decap and one
+    /// VRM port. Near-exact fits put its macromodels right on the passivity
+    /// boundary, which used to break the Hamiltonian Schur iteration at
+    /// fitting orders around 18 (QR non-convergence); the LAPACK-style
+    /// exceptional shifts fixed that, and the preset now runs the full flow
+    /// end to end.
+    Minimal,
 }
 
 impl ScenarioPreset {
     /// Every built-in preset, in registry order.
-    pub const ALL: [ScenarioPreset; 5] = [
+    pub const ALL: [ScenarioPreset; 6] = [
         ScenarioPreset::Reduced,
         ScenarioPreset::Paper,
         ScenarioPreset::DenseDecap,
         ScenarioPreset::MultiVrm,
         ScenarioPreset::BulkDecap,
+        ScenarioPreset::Minimal,
     ];
 
     /// Stable lowercase identifier (for reports and CLI surfaces).
@@ -122,6 +130,7 @@ impl ScenarioPreset {
             ScenarioPreset::DenseDecap => "dense-decap",
             ScenarioPreset::MultiVrm => "multi-vrm",
             ScenarioPreset::BulkDecap => "bulk-decap",
+            ScenarioPreset::Minimal => "minimal",
         }
     }
 
@@ -164,6 +173,15 @@ impl ScenarioPreset {
                 die_capacitance: 100e-9,
                 ..ScenarioConfig::reduced()
             },
+            ScenarioPreset::Minimal => {
+                let mut cfg = ScenarioConfig::reduced();
+                cfg.board.nx = 3;
+                cfg.board.ny = 3;
+                cfg.board.die_ports = vec![(1, 1)];
+                cfg.board.decap_ports = vec![(0, 2)];
+                cfg.board.vrm_ports = vec![(2, 0)];
+                cfg
+            }
         }
     }
 
@@ -302,15 +320,19 @@ mod tests {
         assert_eq!(ScenarioPreset::Paper.config().board.nx, 6);
         // The cheap presets must assemble; Paper is covered by the default
         // ScenarioConfig tests (it is the same configuration).
-        for preset in
-            [ScenarioPreset::DenseDecap, ScenarioPreset::MultiVrm, ScenarioPreset::BulkDecap]
-        {
+        for preset in [
+            ScenarioPreset::DenseDecap,
+            ScenarioPreset::MultiVrm,
+            ScenarioPreset::BulkDecap,
+            ScenarioPreset::Minimal,
+        ] {
             let sc = preset.build().unwrap();
             assert_eq!(sc.network.ports(), sc.data.ports());
             assert!(sc.pdn.die_ports.contains(&sc.observation_port));
         }
         assert_eq!(ScenarioPreset::DenseDecap.build().unwrap().pdn.decap_ports.len(), 3);
         assert_eq!(ScenarioPreset::MultiVrm.build().unwrap().pdn.vrm_ports.len(), 2);
+        assert_eq!(ScenarioPreset::Minimal.build().unwrap().pdn.ports(), 3);
     }
 
     #[test]

@@ -25,6 +25,18 @@ pub struct Mat {
     data: Vec<f64>,
 }
 
+/// Panel depth of the blocked product kernels: KC rows of the right-hand
+/// side are streamed per output row. Shared between [`Mat::matmul_into`] and
+/// [`Mat::par_matmul_into`] — the parallel kernel must block `k` identically
+/// to stay bit-compatible with the serial one.
+const KC: usize = 64;
+
+/// Raw pointer into an output buffer, shared across panel tasks. Safety rests
+/// on the panel decomposition: every task writes a disjoint set of columns.
+struct PanelPtr(*mut f64);
+unsafe impl Send for PanelPtr {}
+unsafe impl Sync for PanelPtr {}
+
 impl Mat {
     /// Creates a `rows × cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
@@ -235,7 +247,6 @@ impl Mat {
         // Panel sizes: KC rows of `rhs` (the k-panel) are streamed per output
         // row; blocking k keeps that panel in L1/L2 while every output row
         // revisits it.
-        const KC: usize = 64;
         for kb in (0..k_dim).step_by(KC) {
             let k_end = (kb + KC).min(k_dim);
             for (a_row, out_row) in
@@ -252,6 +263,87 @@ impl Mat {
                 }
             }
         }
+        Ok(())
+    }
+
+    /// Opt-in parallel variant of [`Mat::matmul_into`]: the blocked kernel is
+    /// split over contiguous **column panels** of `rhs`/`out`, one
+    /// work-stealing task per panel on the given pool.
+    ///
+    /// Restricting a panel to columns `[j0, j1)` leaves every output entry's
+    /// accumulation chain untouched (the `k`-blocking is identical and the
+    /// inner axpy visits the same `(k, j)` pairs in the same order), so the
+    /// result is **bit-identical** to the serial [`Mat::matmul_into`] for
+    /// every thread count — the parallel-vs-serial proptest suite pins this.
+    /// On a serial pool (or when the output is too narrow to split) this
+    /// delegates to the serial kernel.
+    ///
+    /// # Errors
+    ///
+    /// See [`Mat::matmul_into`].
+    pub fn par_matmul_into(
+        &self,
+        rhs: &Mat,
+        out: &mut Mat,
+        pool: &pim_runtime::ThreadPool,
+    ) -> Result<()> {
+        let (k_dim, n) = rhs.shape();
+        // Panels narrower than 16 columns don't amortize the task overhead.
+        let panel_w = n.div_ceil(pool.threads() * 2).max(16);
+        let panels = n.div_ceil(panel_w.max(1)).max(1);
+        if pool.is_serial() || panels <= 1 {
+            return self.matmul_into(rhs, out);
+        }
+        if self.cols != rhs.rows {
+            return Err(LinalgError::DimensionMismatch {
+                context: "Mat::matmul",
+                left: self.shape(),
+                right: rhs.shape(),
+            });
+        }
+        if out.shape() != (self.rows, n) {
+            return Err(LinalgError::DimensionMismatch {
+                context: "Mat::matmul_into output",
+                left: (self.rows, n),
+                right: out.shape(),
+            });
+        }
+        out.data.fill(0.0);
+        if k_dim == 0 || self.rows == 0 {
+            return Ok(());
+        }
+        let base = PanelPtr(out.data.as_mut_ptr());
+        pool.scope(|s| {
+            for p in 0..panels {
+                let j0 = p * panel_w;
+                let j1 = ((p + 1) * panel_w).min(n);
+                let base = &base;
+                s.spawn(move || {
+                    let width = j1 - j0;
+                    for kb in (0..k_dim).step_by(KC) {
+                        let k_end = (kb + KC).min(k_dim);
+                        for (i, a_row) in self.data.chunks_exact(self.cols).enumerate() {
+                            // SAFETY: the slice covers `out` row `i`, columns
+                            // `[j0, j1)` — rows are `n` entries apart, and no
+                            // other task's panel overlaps these columns, so
+                            // the mutable views are disjoint.
+                            let out_row = unsafe {
+                                std::slice::from_raw_parts_mut(base.0.add(i * n + j0), width)
+                            };
+                            for (k, &aik) in a_row[kb..k_end].iter().enumerate() {
+                                if aik == 0.0 {
+                                    continue;
+                                }
+                                let b_row = &rhs.data[(kb + k) * n + j0..(kb + k) * n + j1];
+                                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                                    *o += aik * b;
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+        });
         Ok(())
     }
 
@@ -607,6 +699,33 @@ mod tests {
             let fast = a.matmul(&b).unwrap();
             let slow = a.matmul_naive(&b).unwrap();
             assert!(fast.max_abs_diff(&slow) < 1e-12, "mismatch for {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn par_matmul_into_is_bit_identical_to_serial() {
+        for threads in [1usize, 2, 8] {
+            let pool = pim_runtime::ThreadPool::new(threads);
+            // Sizes around the KC=64 depth and the 16-column panel floor.
+            for &(m, k, n) in &[(1, 1, 1), (3, 5, 2), (17, 64, 40), (10, 65, 130), (33, 200, 70)] {
+                let a = Mat::from_fn(m, k, |i, j| ((i * 31 + j * 17) % 13) as f64 - 6.0);
+                let b = Mat::from_fn(k, n, |i, j| ((i * 7 + j * 29) % 11) as f64 - 5.0);
+                let mut serial = Mat::zeros(m, n);
+                a.matmul_into(&b, &mut serial).unwrap();
+                let mut parallel = Mat::filled(m, n, 42.0);
+                a.par_matmul_into(&b, &mut parallel, &pool).unwrap();
+                for (x, y) in serial.as_slice().iter().zip(parallel.as_slice()) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "{m}x{k}x{n} threads={threads}");
+                }
+            }
+            // Shape validation matches the serial kernel on both paths.
+            let a = Mat::zeros(2, 3);
+            let mut narrow = Mat::zeros(2, 2);
+            assert!(a.par_matmul_into(&Mat::zeros(4, 2), &mut narrow, &pool).is_err());
+            assert!(a.par_matmul_into(&Mat::zeros(3, 120), &mut narrow, &pool).is_err());
+            let mut wide = Mat::zeros(2, 120);
+            a.par_matmul_into(&Mat::zeros(3, 120), &mut wide, &pool).unwrap();
+            assert_eq!(wide.max_abs(), 0.0);
         }
     }
 

@@ -153,9 +153,19 @@ fn qr_iterate(t: &mut CMat, mut u: Option<&mut CMat>) -> Result<()> {
             });
         }
 
-        // Wilkinson shift from the trailing 2x2 block, replaced by an
-        // exceptional shift every 15 stalled iterations.
-        let shift = if iter_this_eig.is_multiple_of(15) {
+        // Wilkinson shift from the trailing 2x2 block, replaced by ad-hoc
+        // exceptional shifts after a stall — LAPACK (`zlahqr`) style, at
+        // stalled-iteration counts 10 and 20 (mod 30). Two *different*
+        // exceptional shifts are used so a cycle that survives one of them
+        // is broken by the other: the dat1-damped shift keeps the iteration
+        // near the trailing eigenvalue (effective when eigenvalues cluster
+        // on a circle, e.g. Hamiltonian spectra hugging the imaginary
+        // axis), while the magnitude shift jumps far from the cluster.
+        let stall = iter_this_eig % 30;
+        let shift = if stall == 10 {
+            // zlahqr's exceptional shift: dat1·|subdiag| + trailing entry.
+            t[(hi, hi)] + Complex64::from_real(0.75 * t[(hi, hi - 1)].abs())
+        } else if stall == 20 {
             Complex64::from_real(t[(hi, hi - 1)].abs() + t[(hi, hi)].abs())
         } else {
             wilkinson_shift(t[(hi - 1, hi - 1)], t[(hi - 1, hi)], t[(hi, hi - 1)], t[(hi, hi)])
@@ -321,6 +331,32 @@ mod tests {
         assert!((im[0] + 5.0).abs() < 1e-10 && (im[1] - 5.0).abs() < 1e-10);
         for ev in s.eigenvalues() {
             assert!(ev.re.abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn cyclic_permutation_matrices_converge_via_exceptional_shifts() {
+        // Regression for the stalled-QR class behind the 3×3-board /
+        // order-18 Hamiltonian failure (ROADMAP PR 3 note): eigenvalues
+        // uniformly spread on a circle. The Wilkinson shift of the trailing
+        // 2×2 of a cyclic permutation matrix is identically zero, so the
+        // plain single-shift iteration cycles without deflating — only the
+        // LAPACK-style ad-hoc shifts at stalled-iteration counts 10/20
+        // break the symmetry. The eigenvalues are the n-th roots of unity.
+        for n in [4usize, 8, 12, 16, 24] {
+            let mut c = CMat::zeros(n, n);
+            for i in 0..n {
+                c[(i, (i + 1) % n)] = Complex64::from_real(1.0);
+            }
+            let s = complex_schur(&c).unwrap_or_else(|e| panic!("n={n}: {e}"));
+            for ev in s.eigenvalues() {
+                assert!((ev.abs() - 1.0).abs() < 1e-9, "n={n}: |{ev:?}| off the unit circle");
+            }
+            check_schur(&c, &s, 1e-9);
+            let fast = complex_schur_eigenvalues(&c).unwrap();
+            for (x, y) in fast.iter().zip(&s.eigenvalues()) {
+                assert_eq!(x, y, "eigenvalue-only path drifted for n={n}");
+            }
         }
     }
 

@@ -86,6 +86,27 @@ proptest! {
     }
 
     #[test]
+    fn par_matmul_into_is_bit_identical_across_thread_counts(
+        dims in (1usize..33, 1usize..33, 1usize..33),
+        va in prop::collection::vec(-1.0f64..1.0, 33 * 33),
+        vb in prop::collection::vec(-1.0f64..1.0, 33 * 33),
+    ) {
+        let (m, k, n) = dims;
+        let a = Mat::from_fn(m, k, |i, j| va[i * 33 + j]);
+        let b = Mat::from_fn(k, n, |i, j| vb[i * 33 + j]);
+        let mut serial = Mat::zeros(m, n);
+        a.matmul_into(&b, &mut serial).unwrap();
+        for threads in [1usize, 2, 8] {
+            let pool = pim_runtime::ThreadPool::new(threads);
+            let mut parallel = Mat::filled(m, n, 3.25);
+            a.par_matmul_into(&b, &mut parallel, &pool).unwrap();
+            for (x, y) in serial.as_slice().iter().zip(parallel.as_slice()) {
+                prop_assert!(x.to_bits() == y.to_bits(), "{m}x{k}x{n} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
     fn blocked_complex_matmul_matches_naive_reference(
         dims in (1usize..33, 1usize..33, 1usize..33),
         va in prop::collection::vec(-1.0f64..1.0, 2 * 33 * 33),

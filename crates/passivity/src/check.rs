@@ -52,7 +52,9 @@ pub struct PassivityReport {
 /// with `R = DᵀD − I` and `S = DDᵀ − I` both symmetric: the lower-right
 /// block is the negated transpose of the upper-left one and is filled by a
 /// copy instead of a second `N×N` matrix-product chain, and the blocks are
-/// written straight into the `2N×2N` result.
+/// written straight into the `2N×2N` result. The three `N×N`-output
+/// products run on the [`pim_runtime::global`] pool's column-panel kernel
+/// ([`Mat::par_matmul_into`]), which is bit-identical to the serial one.
 ///
 /// # Errors
 ///
@@ -87,11 +89,18 @@ pub fn hamiltonian_matrix(sys: &StateSpace) -> Result<Mat> {
         )
     })?;
 
+    // The products with a P-column output are too narrow to split; the
+    // three with an N-column output go through the parallel panel kernel.
+    let par_matmul = |lhs: &Mat, rhs: &Mat| -> Result<Mat> {
+        let mut out = Mat::zeros(lhs.rows(), rhs.cols());
+        lhs.par_matmul_into(rhs, &mut out, pim_runtime::global())?;
+        Ok(out)
+    };
     let br = b.matmul(&r_inv)?; // B (DᵀD − I)⁻¹
-    let a11 = a - &br.matmul(&dt)?.matmul(c)?;
-    let mut a12 = br.matmul(&b.transpose())?;
+    let a11 = a - &par_matmul(&br.matmul(&dt)?, c)?;
+    let mut a12 = par_matmul(&br, &b.transpose())?;
     a12.scale_in_place(-1.0);
-    let a21 = c.transpose().matmul(&s_inv)?.matmul(c)?;
+    let a21 = par_matmul(&c.transpose().matmul(&s_inv)?, c)?;
 
     let mut m = Mat::zeros(2 * n, 2 * n);
     m.set_block(0, 0, &a11);
@@ -152,26 +161,63 @@ pub fn is_passive(sys: &StateSpace) -> Result<bool> {
 /// Sweeps all singular values of `S(jω)` over the given angular frequencies.
 /// Returns one vector of descending singular values per frequency.
 ///
+/// The sweep runs on the [`pim_runtime::global`] pool (each frequency is an
+/// independent evaluate + SVD); results are collected by frequency index, so
+/// the output is bit-identical to the serial sweep for every `PIM_THREADS`.
+///
 /// # Errors
 ///
 /// Propagates evaluation and SVD failures.
 pub fn singular_value_sweep(model: &PoleResidueModel, omegas: &[f64]) -> Result<Vec<Vec<f64>>> {
-    let mut out = Vec::with_capacity(omegas.len());
-    for &omega in omegas {
+    singular_value_sweep_with(pim_runtime::global(), model, omegas)
+}
+
+/// [`singular_value_sweep`] on an explicit [`pim_runtime::ThreadPool`] (the
+/// determinism test suites compare pools of different sizes bit for bit).
+///
+/// # Errors
+///
+/// See [`singular_value_sweep`]; when several frequencies fail, the error of
+/// the lowest frequency index is reported regardless of scheduling order.
+pub fn singular_value_sweep_with(
+    pool: &pim_runtime::ThreadPool,
+    model: &PoleResidueModel,
+    omegas: &[f64],
+) -> Result<Vec<Vec<f64>>> {
+    pool.par_map(omegas, |_, &omega| -> Result<Vec<f64>> {
         let s = model.evaluate_at_omega(omega).map_err(PassivityError::StateSpace)?;
-        out.push(singular_values(&s)?);
-    }
-    Ok(out)
+        Ok(singular_values(&s)?)
+    })
+    .into_iter()
+    .collect()
 }
 
 /// Builds a complete passivity report for a pole–residue macromodel:
 /// Hamiltonian crossings plus a singular-value sweep on `omegas` refined
 /// around the crossing frequencies.
 ///
+/// The dense singular-value grid is evaluated on the [`pim_runtime::global`]
+/// pool (see [`singular_value_sweep`]); the report is bit-identical for
+/// every thread count.
+///
 /// # Errors
 ///
 /// Propagates realization, eigenvalue and SVD failures.
 pub fn assess(model: &PoleResidueModel, omegas: &[f64]) -> Result<PassivityReport> {
+    assess_with(pim_runtime::global(), model, omegas)
+}
+
+/// [`assess`] with the singular-value grid evaluated on an explicit
+/// [`pim_runtime::ThreadPool`].
+///
+/// # Errors
+///
+/// See [`assess`].
+pub fn assess_with(
+    pool: &pim_runtime::ThreadPool,
+    model: &PoleResidueModel,
+    omegas: &[f64],
+) -> Result<PassivityReport> {
     let sys = StateSpace::from_pole_residue(model)?;
     let crossings = hamiltonian_crossings(&sys)?;
 
@@ -196,7 +242,7 @@ pub fn assess(model: &PoleResidueModel, omegas: &[f64]) -> Result<PassivityRepor
     grid.sort_by(|a, b| a.partial_cmp(b).unwrap());
     grid.dedup_by(|a, b| (*a - *b).abs() <= f64::EPSILON * a.abs().max(1.0));
 
-    let sweep = singular_value_sweep(model, &grid)?;
+    let sweep = singular_value_sweep_with(pool, model, &grid)?;
     let mut sigma_max = 0.0;
     let mut omega_at = 0.0;
     for (k, sv) in sweep.iter().enumerate() {

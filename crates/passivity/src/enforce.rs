@@ -182,6 +182,15 @@ pub struct EnforcementIteration {
 pub trait EnforcementObserver {
     /// Called once per outer iteration, after the perturbation is applied.
     fn on_enforcement_iteration(&mut self, event: &EnforcementIteration);
+
+    /// Called once per outer iteration, right after
+    /// [`EnforcementObserver::on_enforcement_iteration`], with the accepted
+    /// perturbed model itself. Default no-op; implement it to snapshot
+    /// intermediate models (the Fig. 5 anomaly diagnostic re-assesses them
+    /// on denser grids than the working sweep).
+    fn on_iteration_model(&mut self, iteration: usize, model: &PoleResidueModel) {
+        let _ = (iteration, model);
+    }
 }
 
 /// Result of a passivity enforcement run.
@@ -441,6 +450,7 @@ fn enforce_passivity_impl(
                         norm_increment,
                         constraints: cons.rows(),
                     });
+                    obs.on_iteration_model(iterations, &candidate);
                 }
                 current = candidate;
                 break;

@@ -2,9 +2,10 @@
 //! Hamiltonian assembly must agree with the naive textbook formula.
 
 use pim_linalg::lu::inverse;
-use pim_linalg::Mat;
-use pim_passivity::check::hamiltonian_matrix;
-use pim_statespace::StateSpace;
+use pim_linalg::{CMat, Complex64, Mat};
+use pim_passivity::check::{hamiltonian_matrix, singular_value_sweep_with};
+use pim_runtime::ThreadPool;
+use pim_statespace::{PoleResidueModel, StateSpace};
 use proptest::prelude::*;
 
 /// Naive reference assembly of the Hamiltonian, computing all four blocks
@@ -89,5 +90,42 @@ proptest! {
         let reference = naive_hamiltonian(&sys);
         let scale = reference.max_abs().max(1.0);
         prop_assert!(fast.max_abs_diff(&reference) < 1e-12 * scale);
+    }
+
+    #[test]
+    fn parallel_assessment_grid_is_bit_identical_across_thread_counts(
+        pairs in 1usize..5,
+        grid_len in 1usize..33,
+        v in prop::collection::vec(-1.0f64..1.0, 4 * 4 + 32),
+    ) {
+        // A resonant multi-pair pole-residue model (the shape the dense
+        // assessment grids sweep in the flow).
+        let mut poles = Vec::new();
+        let mut residues = Vec::new();
+        for k in 0..pairs {
+            let p = Complex64::new(-40.0 - 10.0 * v[k].abs(), 800.0 + 300.0 * k as f64);
+            let r = Complex64::new(25.0 * v[k + 4], 10.0 * v[k + 8]);
+            poles.push(p);
+            poles.push(p.conj());
+            residues.push(CMat::from_diag(&[r]));
+            residues.push(CMat::from_diag(&[r.conj()]));
+        }
+        let model = PoleResidueModel::new(poles, residues, Mat::from_diag(&[0.6])).unwrap();
+        let omegas: Vec<f64> = (0..grid_len).map(|k| 5.0 * k as f64 + 40.0 * v[16 + k].abs()).collect();
+        let serial = singular_value_sweep_with(&ThreadPool::new(1), &model, &omegas).unwrap();
+        for threads in [2usize, 8] {
+            let pool = ThreadPool::new(threads);
+            let parallel = singular_value_sweep_with(&pool, &model, &omegas).unwrap();
+            prop_assert!(parallel.len() == serial.len());
+            for (k, (sa, sb)) in serial.iter().zip(&parallel).enumerate() {
+                prop_assert!(sa.len() == sb.len());
+                for (a, b) in sa.iter().zip(sb) {
+                    prop_assert!(
+                        a.to_bits() == b.to_bits(),
+                        "grid point {k} drifted with {threads} threads: {a} vs {b}"
+                    );
+                }
+            }
+        }
     }
 }

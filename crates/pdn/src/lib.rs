@@ -27,7 +27,9 @@ pub mod sensitivity;
 pub mod terminations;
 
 pub use impedance::{loaded_impedance_matrix, target_impedance, TargetImpedance};
-pub use sensitivity::{analytic_sensitivity, monte_carlo_sensitivity, SensitivityOptions};
+pub use sensitivity::{
+    analytic_sensitivity, monte_carlo_sensitivity, monte_carlo_sensitivity_with, SensitivityOptions,
+};
 pub use terminations::{Termination, TerminationNetwork};
 
 use std::error::Error;

@@ -107,11 +107,42 @@ pub fn analytic_sensitivity(
 /// real and imaginary parts), the target impedance is recomputed, and the
 /// mean absolute deviation normalized by `sigma` is reported per frequency.
 ///
+/// Every frequency draws from its **own** SplitMix64 stream, whose seed is
+/// derived deterministically from `options.seed` and the frequency index.
+/// That makes the per-frequency estimates independent of how the frequency
+/// grid is chunked across threads: the estimator runs its Gaussian draws in
+/// parallel on the [`pim_runtime::global`] pool, and the result is
+/// bit-identical to the serial evaluation for every `PIM_THREADS`.
+///
 /// # Errors
 ///
 /// Mirrors the validation of [`crate::target_impedance`]; singular loaded
 /// impedances inside a trial are skipped.
 pub fn monte_carlo_sensitivity(
+    data: &NetworkData,
+    network: &TerminationNetwork,
+    observation_port: usize,
+    options: &SensitivityOptions,
+) -> Result<Vec<f64>> {
+    monte_carlo_sensitivity_with(pim_runtime::global(), data, network, observation_port, options)
+}
+
+/// Frequencies per parallel work unit of the Monte Carlo estimator. Fixed —
+/// never derived from the thread count — so the chunk decomposition (and
+/// with it the accumulation order inside each chunk) is identical on every
+/// machine.
+const MC_CHUNK: usize = 4;
+
+/// [`monte_carlo_sensitivity`] on an explicit [`pim_runtime::ThreadPool`]
+/// (the determinism test suites compare pools of different sizes bit for
+/// bit).
+///
+/// # Errors
+///
+/// See [`monte_carlo_sensitivity`]; when several frequencies fail, the error
+/// of the lowest frequency index is reported regardless of scheduling order.
+pub fn monte_carlo_sensitivity_with(
+    pool: &pim_runtime::ThreadPool,
     data: &NetworkData,
     network: &TerminationNetwork,
     observation_port: usize,
@@ -128,10 +159,16 @@ pub fn monte_carlo_sensitivity(
     let total_current: f64 = j.iter().map(|z| z.re).sum();
     let ports = data.ports();
     let omegas = data.grid().omegas();
-    let mut rng = SplitMix64::seed_from_u64(options.seed);
-    let mut out = Vec::with_capacity(data.len());
-    for (k, &omega) in omegas.iter().enumerate() {
-        let y_l = network.load_admittance(omega)?;
+    // One independent stream per frequency, seeded from a master stream in
+    // frequency order.
+    let seeds: Vec<u64> = {
+        let mut master = SplitMix64::seed_from_u64(options.seed);
+        (0..data.len()).map(|_| master.next_u64()).collect()
+    };
+
+    let per_frequency = |k: usize| -> Result<f64> {
+        let y_l = network.load_admittance(omegas[k])?;
+        let mut rng = SplitMix64::seed_from_u64(seeds[k]);
         let mut acc = 0.0;
         let mut used = 0usize;
         for _ in 0..options.trials {
@@ -162,9 +199,19 @@ pub fn monte_carlo_sensitivity(
                 "all Monte Carlo trials failed at frequency index {k}"
             )));
         }
-        out.push(acc / (used as f64 * options.sigma));
-    }
-    Ok(out)
+        Ok(acc / (used as f64 * options.sigma))
+    };
+
+    // Per-chunk accumulators (the chunk's frequency estimates in order),
+    // flattened back in fixed chunk order; the frequency index is the chunk
+    // start index plus the offset within the chunk.
+    let chunks: Result<Vec<Vec<f64>>> = pool
+        .par_chunks(&seeds, MC_CHUNK, |start, part| {
+            (start..start + part.len()).map(&per_frequency).collect::<Result<Vec<f64>>>()
+        })
+        .into_iter()
+        .collect();
+    Ok(chunks?.into_iter().flatten().collect())
 }
 
 /// Post-processes raw sensitivity samples into Vector Fitting weights:
@@ -355,6 +402,29 @@ mod tests {
         assert!(sensitivity_to_weights(&[0.0, 0.0], 0.0).is_err());
         assert!(sensitivity_to_weights(&[1.0, f64::NAN], 0.0).is_err());
         assert!(sensitivity_to_weights(&[1.0, -2.0], 0.0).is_err());
+    }
+
+    #[test]
+    fn monte_carlo_is_bit_identical_across_thread_counts() {
+        let (data, net) = resistive_case();
+        let opts = SensitivityOptions { sigma: 1e-5, trials: 32, seed: 11 };
+        let serial =
+            monte_carlo_sensitivity_with(&pim_runtime::ThreadPool::new(1), &data, &net, 0, &opts)
+                .unwrap();
+        for threads in [2usize, 8] {
+            let pool = pim_runtime::ThreadPool::new(threads);
+            let parallel = monte_carlo_sensitivity_with(&pool, &data, &net, 0, &opts).unwrap();
+            assert_eq!(serial.len(), parallel.len());
+            for (k, (a, b)) in serial.iter().zip(&parallel).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "threads={threads} index={k}: {a} vs {b}");
+            }
+        }
+        // The global-pool entry point draws from the same per-frequency
+        // streams.
+        let global = monte_carlo_sensitivity(&data, &net, 0, &opts).unwrap();
+        for (a, b) in serial.iter().zip(&global) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

@@ -63,5 +63,6 @@ pub use pim_linalg as linalg;
 pub use pim_passivity as passivity;
 pub use pim_pdn as pdn;
 pub use pim_rfdata as rfdata;
+pub use pim_runtime as runtime;
 pub use pim_statespace as statespace;
 pub use pim_vectfit as vectfit;
