@@ -14,8 +14,11 @@
 //!   norm (eq. 21);
 //! * [`pipeline`] — the staged, observable macromodeling pipeline: typed
 //!   stage handles (`sensitivity → fit → weighting_model → assess →
-//!   enforce`), each returning an owned artifact, plus the
-//!   [`pipeline::Pipeline::sweep`] batch runner over [`scenario::ScenarioPreset`]s;
+//!   enforce`), each returning an owned artifact, a
+//!   [`pipeline::Pipeline::sampling`] builder plugging a
+//!   `pim_passivity::grid::SamplingStrategy` into the assessment and
+//!   enforcement grids, plus the [`pipeline::Pipeline::sweep`] batch
+//!   runner over [`scenario::ScenarioPreset`]s;
 //! * [`flow`] — the legacy one-shot entry point [`flow::run_flow`], now a
 //!   thin wrapper over the pipeline producing a bit-identical
 //!   [`flow::FlowReport`], plus the report/evaluation types;

@@ -109,6 +109,15 @@ impl TraceObserver {
     pub fn trace(&self, norm: NormKind) -> Vec<&EnforcementIteration> {
         self.iterations.iter().filter(|(k, _)| *k == norm).map(|(_, ev)| ev).collect()
     }
+
+    /// The working-grid size of every iteration under the given norm, in
+    /// order — the per-iteration grid-growth trajectory. Near the fixed
+    /// baseline (± the iterate's crossing-derived points) under the default
+    /// `CrossingRefined` sampling; substantially larger when the `Adaptive`
+    /// strategy bisects its way toward sub-grid violation bands.
+    pub fn grid_growth(&self, norm: NormKind) -> Vec<usize> {
+        self.trace(norm).iter().map(|ev| ev.grid_points).collect()
+    }
 }
 
 impl FlowObserver for TraceObserver {
@@ -165,6 +174,7 @@ mod tests {
             step: 1.0,
             norm_increment: 3.0,
             constraints: 4,
+            grid_points: 201,
         };
         obs.on_enforcement_iteration(NormKind::SensitivityWeighted, &ev);
         obs.on_enforcement_iteration(NormKind::Standard, &ev);
@@ -175,5 +185,7 @@ mod tests {
         assert_eq!(obs.trace(NormKind::SensitivityWeighted).len(), 1);
         assert_eq!(obs.trace(NormKind::Standard).len(), 1);
         assert_eq!(obs.trace(NormKind::Custom("x")).len(), 0);
+        assert_eq!(obs.grid_growth(NormKind::Standard), vec![201]);
+        assert!(obs.grid_growth(NormKind::Custom("x")).is_empty());
     }
 }

@@ -30,16 +30,18 @@ use crate::observer::{FlowObserver, Stage, TraceObserver};
 use crate::scenario::{ScenarioPreset, StandardScenario};
 use crate::weighting::SensitivityWeightedNorm;
 use crate::{CoreError, Result};
-use pim_passivity::check::{assess, PassivityReport};
+use pim_passivity::check::{assess_with_sampling, PassivityReport};
 use pim_passivity::enforce::{
     enforce_passivity, enforce_passivity_observed, EnforcementIteration, EnforcementObserver,
     EnforcementOutcome,
 };
+use pim_passivity::grid::{FrequencyGrid, SamplingStrategy};
 use pim_passivity::norm::{NormBuilder, NormKind, StandardNorm};
 use pim_passivity::PassivityError;
 use pim_pdn::sensitivity::sensitivity_to_weights;
 use pim_pdn::{analytic_sensitivity, target_impedance, TargetImpedance, TerminationNetwork};
 use pim_rfdata::{NetworkData, ParameterKind};
+use pim_statespace::PoleResidueModel;
 use pim_vectfit::{fit_magnitude, vector_fit, MagnitudeFitConfig, SensitivityModel, VfResult};
 
 /// Which least-squares metric a fitting stage minimizes.
@@ -136,7 +138,7 @@ pub struct Pipeline<'a> {
     weighting: Option<SensitivityModel>,
     assessment: Option<AssessmentArtifact>,
     enforcements: Vec<(NormKind, EnforcementArtifact)>,
-    failed_enforcements: Vec<(NormKind, usize, f64)>,
+    failed_enforcements: Vec<(NormKind, usize, f64, Option<Box<PoleResidueModel>>)>,
 }
 
 impl<'a> Pipeline<'a> {
@@ -186,6 +188,25 @@ impl<'a> Pipeline<'a> {
     #[must_use]
     pub fn with_observer(mut self, observer: &'a mut dyn FlowObserver) -> Self {
         self.observer = Some(observer);
+        self
+    }
+
+    /// Builder: replaces the sampling strategy behind the assessment stage
+    /// and all enforcement grids (working sweep, convergence double-check,
+    /// final verification). The default is
+    /// [`pim_passivity::grid::CrossingRefined`], which reproduces the
+    /// historical grids bit for bit; switch to
+    /// [`pim_passivity::grid::Adaptive`] to chase violation bands narrower
+    /// than the grid spacing.
+    ///
+    /// Cached assessment and enforcement artifacts are invalidated: they
+    /// were computed under the previous strategy.
+    #[must_use]
+    pub fn sampling(mut self, strategy: impl SamplingStrategy + 'static) -> Self {
+        self.config.enforcement = self.config.enforcement.clone().sampling(strategy);
+        self.assessment = None;
+        self.enforcements.clear();
+        self.failed_enforcements.clear();
         self
     }
 
@@ -295,7 +316,8 @@ impl<'a> Pipeline<'a> {
     }
 
     /// Assessment stage: Hamiltonian test plus singular-value sweep of the
-    /// weighted macromodel on the data grid.
+    /// weighted macromodel on the data grid, refined by the configured
+    /// [`SamplingStrategy`] (see [`Pipeline::sampling`]).
     ///
     /// # Errors
     ///
@@ -305,8 +327,13 @@ impl<'a> Pipeline<'a> {
             let fit = self.fit(FitKind::Weighted)?;
             self.stage_start(Stage::Assessment);
             let omegas = self.data.grid().omegas();
-            let band_max_omega = omegas.iter().copied().fold(0.0_f64, f64::max);
-            let report = assess(&fit.result.model, &omegas)?;
+            let band_max_omega = self.data.grid().max_omega();
+            let report = assess_with_sampling(
+                pim_runtime::global(),
+                &fit.result.model,
+                &FrequencyGrid::from_omegas(&omegas),
+                self.config.enforcement.sampling.as_ref(),
+            )?;
             let sigma_max_before = report.sigma_max;
             self.assessment = Some(AssessmentArtifact { report, sigma_max_before, band_max_omega });
             self.stage_done(Stage::Assessment);
@@ -357,12 +384,13 @@ impl<'a> Pipeline<'a> {
         if let Some((_, artifact)) = self.enforcements.iter().find(|(k, _)| *k == kind) {
             return Ok(artifact.clone());
         }
-        if let Some(&(_, iterations, sigma_max)) =
-            self.failed_enforcements.iter().find(|(k, _, _)| *k == kind)
+        if let Some((_, iterations, sigma_max, best)) =
+            self.failed_enforcements.iter().find(|(k, _, _, _)| *k == kind)
         {
             return Err(CoreError::Passivity(PassivityError::NotConverged {
-                iterations,
-                sigma_max,
+                iterations: *iterations,
+                sigma_max: *sigma_max,
+                best: best.clone(),
             }));
         }
         let assessment = self.assess()?;
@@ -399,8 +427,8 @@ impl<'a> Pipeline<'a> {
                 // attempt, and pin deterministic non-convergence so a retry
                 // does not re-run the loop (and double the recorded trace).
                 self.stage_failed(Stage::Enforcement(kind));
-                if let PassivityError::NotConverged { iterations, sigma_max } = e {
-                    self.failed_enforcements.push((kind, iterations, sigma_max));
+                if let PassivityError::NotConverged { iterations, sigma_max, ref best } = e {
+                    self.failed_enforcements.push((kind, iterations, sigma_max, best.clone()));
                 }
                 return Err(e.into());
             }

@@ -1,6 +1,7 @@
 //! Passivity assessment: Hamiltonian eigenvalue test and singular-value
 //! sweeps.
 
+use crate::grid::{CrossingRefined, FrequencyGrid, SamplingStrategy};
 use crate::{PassivityError, Result};
 use pim_linalg::eig::eigenvalues;
 use pim_linalg::lu::inverse;
@@ -36,6 +37,9 @@ pub struct PassivityReport {
     /// Frequencies (rad/s) of unit-singular-value crossings reported by the
     /// Hamiltonian eigenvalue test.
     pub hamiltonian_crossings: Vec<f64>,
+    /// The frequency grid the sweep actually ran on, with per-point
+    /// provenance (seed / crossing refinement / adaptive bisection).
+    pub grid: FrequencyGrid,
 }
 
 /// Builds the Hamiltonian matrix associated with the scattering state-space
@@ -192,9 +196,22 @@ pub fn singular_value_sweep_with(
     .collect()
 }
 
+/// [`singular_value_sweep`] over the points of a [`FrequencyGrid`].
+///
+/// # Errors
+///
+/// See [`singular_value_sweep`].
+pub fn singular_value_sweep_on(
+    model: &PoleResidueModel,
+    grid: &FrequencyGrid,
+) -> Result<Vec<Vec<f64>>> {
+    singular_value_sweep_with(pim_runtime::global(), model, grid.points())
+}
+
 /// Builds a complete passivity report for a pole–residue macromodel:
 /// Hamiltonian crossings plus a singular-value sweep on `omegas` refined
-/// around the crossing frequencies.
+/// around the crossing frequencies with the default
+/// [`CrossingRefined`] strategy (the historical behavior, bit for bit).
 ///
 /// The dense singular-value grid is evaluated on the [`pim_runtime::global`]
 /// pool (see [`singular_value_sweep`]); the report is bit-identical for
@@ -218,48 +235,67 @@ pub fn assess_with(
     model: &PoleResidueModel,
     omegas: &[f64],
 ) -> Result<PassivityReport> {
+    assess_with_sampling(pool, model, &FrequencyGrid::from_omegas(omegas), &CrossingRefined)
+}
+
+/// Assesses `model` sweeping **exactly** the given grid: the Hamiltonian
+/// crossings still feed the report, but no refinement points are added.
+/// This is the verification-grid entry point ("does the model hold up on a
+/// grid it was *not* constrained on?").
+///
+/// # Errors
+///
+/// See [`assess`].
+pub fn assess_on(model: &PoleResidueModel, grid: &FrequencyGrid) -> Result<PassivityReport> {
+    assess_with_sampling(pim_runtime::global(), model, grid, &crate::grid::FixedLog)
+}
+
+/// The strategy-driven assessment core: computes the Hamiltonian crossings,
+/// lets `strategy` refine `base` for this model (see
+/// [`SamplingStrategy::refine`]), sweeps the refined grid on `pool`, and
+/// assembles the report. [`assess`]/[`assess_with`] delegate here with the
+/// default [`CrossingRefined`] strategy; [`assess_on`] with the
+/// pass-through [`crate::grid::FixedLog`].
+///
+/// # Errors
+///
+/// Propagates realization, eigenvalue, refinement and SVD failures.
+pub fn assess_with_sampling(
+    pool: &pim_runtime::ThreadPool,
+    model: &PoleResidueModel,
+    base: &FrequencyGrid,
+    strategy: &dyn SamplingStrategy,
+) -> Result<PassivityReport> {
     let sys = StateSpace::from_pole_residue(model)?;
     let crossings = hamiltonian_crossings(&sys)?;
+    let (grid, cached_sigma) = strategy.refine_with_sigma(pool, model, base, &crossings)?;
 
-    // Refine the sweep grid: original samples plus points between and around
-    // consecutive crossings (violation extrema live between crossings).
-    let mut grid: Vec<f64> = omegas.to_vec();
-    for pair in crossings.windows(2) {
-        grid.push(0.5 * (pair[0] + pair[1]));
-        grid.push((pair[0] * pair[1]).max(0.0).sqrt());
-    }
-    for &w in &crossings {
-        grid.push(w * 0.999);
-        grid.push(w * 1.001);
-    }
-    if let Some(&last) = crossings.last() {
-        grid.push(last * 1.05);
-    }
-    if let Some(&first) = crossings.first() {
-        grid.push((first * 0.95).max(0.0));
-    }
-    grid.retain(|w| w.is_finite() && *w >= 0.0);
-    grid.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    grid.dedup_by(|a, b| (*a - *b).abs() <= f64::EPSILON * a.abs().max(1.0));
-
-    let sweep = singular_value_sweep_with(pool, model, &grid)?;
+    // The report only needs `σ_max` per point; a strategy that sampled the
+    // grid while refining (the adaptive bisection) hands those samples back
+    // so the grid is decomposed exactly once. `Svd::sigma_max` is the first
+    // entry of `singular_values`, so both paths yield the same floats.
+    let sigmas: Vec<f64> = match cached_sigma {
+        Some(sigmas) => sigmas,
+        None => singular_value_sweep_with(pool, model, grid.points())?
+            .iter()
+            .map(|sv| sv.first().copied().unwrap_or(0.0))
+            .collect(),
+    };
     let mut sigma_max = 0.0;
     let mut omega_at = 0.0;
-    for (k, sv) in sweep.iter().enumerate() {
-        let s = sv.first().copied().unwrap_or(0.0);
+    for (k, &s) in sigmas.iter().enumerate() {
         if s > sigma_max {
             sigma_max = s;
-            omega_at = grid[k];
+            omega_at = grid.points()[k];
         }
     }
 
     // Violation bands from the sweep.
     let mut bands = Vec::new();
     let mut current: Option<ViolationBand> = None;
-    for (k, sv) in sweep.iter().enumerate() {
-        let s = sv.first().copied().unwrap_or(0.0);
+    for (k, &s) in sigmas.iter().enumerate() {
         if s > 1.0 {
-            let w = grid[k];
+            let w = grid.points()[k];
             match &mut current {
                 Some(band) => {
                     band.omega_high = w;
@@ -297,6 +333,7 @@ pub fn assess_with(
         omega_at_sigma_max: omega_at,
         bands,
         hamiltonian_crossings: crossings,
+        grid,
     })
 }
 
@@ -413,6 +450,146 @@ mod tests {
         .unwrap();
         let sys = StateSpace::from_pole_residue(&m).unwrap();
         assert!(hamiltonian_matrix(&sys).is_err());
+    }
+
+    #[test]
+    fn assess_on_sweeps_exactly_the_given_grid() {
+        let m = violating_model();
+        let omegas: Vec<f64> = (1..200).map(|k| k as f64 * 10.0).collect();
+        let grid = FrequencyGrid::from_omegas(&omegas);
+        let report = assess_on(&m, &grid).unwrap();
+        // No refinement: the report grid is the input grid, point for point.
+        assert_eq!(report.grid.points(), grid.points());
+        assert!(!report.passive);
+        // The default assess refines around crossings, so its grid is a
+        // strict superset and its peak estimate at least as good.
+        let refined = assess(&m, &omegas).unwrap();
+        assert!(refined.grid.len() > grid.len());
+        assert!(refined.sigma_max >= report.sigma_max);
+        assert_eq!(refined.grid.count_of(crate::grid::PointProvenance::Seed), grid.len());
+    }
+
+    #[test]
+    fn assess_with_sampling_crossing_refined_matches_assess_bit_for_bit() {
+        let m = violating_model();
+        let omegas: Vec<f64> = (0..150).map(|k| k as f64 * 13.0).collect();
+        let direct = assess(&m, &omegas).unwrap();
+        let sampled = assess_with_sampling(
+            &pim_runtime::ThreadPool::new(1),
+            &m,
+            &FrequencyGrid::from_omegas(&omegas),
+            &CrossingRefined,
+        )
+        .unwrap();
+        assert_eq!(direct.passive, sampled.passive);
+        assert_eq!(direct.sigma_max.to_bits(), sampled.sigma_max.to_bits());
+        assert_eq!(direct.omega_at_sigma_max.to_bits(), sampled.omega_at_sigma_max.to_bits());
+        assert_eq!(direct.bands.len(), sampled.bands.len());
+        assert_eq!(direct.grid.len(), sampled.grid.len());
+        for (a, b) in direct.grid.points().iter().zip(sampled.grid.points()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// A passive model has no Hamiltonian crossings; every strategy must
+    /// accept the empty crossing list.
+    #[test]
+    fn strategies_handle_a_model_without_crossings() {
+        use crate::grid::{Adaptive, FixedLog, SamplingStrategy};
+        let m = passive_model();
+        let sys = StateSpace::from_pole_residue(&m).unwrap();
+        let crossings = hamiltonian_crossings(&sys).unwrap();
+        assert!(crossings.is_empty());
+        let pool = pim_runtime::ThreadPool::new(1);
+        let base =
+            FrequencyGrid::from_omegas(&(0..60).map(|k| k as f64 * 20.0).collect::<Vec<_>>());
+        for strategy in [&FixedLog as &dyn SamplingStrategy, &CrossingRefined, &Adaptive::default()]
+        {
+            let refined = strategy.refine(&pool, &m, &base, &crossings).unwrap();
+            assert!(refined.len() >= base.len(), "{} shrank the grid", strategy.name());
+            let report = assess_with_sampling(&pool, &m, &base, strategy).unwrap();
+            assert!(report.passive, "{}: passive model misjudged", strategy.name());
+        }
+    }
+
+    /// Near-degenerate (clustered) crossings: two resonant pairs whose
+    /// violation bands nearly coincide produce crossings a fraction of a
+    /// percent apart. The refinement must keep distinct points distinct,
+    /// dedup the coincident ones, and the adaptive strategy must still
+    /// resolve the merged peak.
+    #[test]
+    fn clustered_crossings_are_deduped_not_lost() {
+        use crate::grid::{Adaptive, SamplingStrategy};
+        let p1 = c(-8.0, 1000.0);
+        let p2 = c(-8.0, 1004.0);
+        let r = c(9.0, 0.0);
+        let m = PoleResidueModel::new(
+            vec![p1, p1.conj(), p2, p2.conj()],
+            vec![
+                CMat::from_diag(&[r]),
+                CMat::from_diag(&[r.conj()]),
+                CMat::from_diag(&[r]),
+                CMat::from_diag(&[r.conj()]),
+            ],
+            Mat::from_diag(&[0.2]),
+        )
+        .unwrap();
+        let sys = StateSpace::from_pole_residue(&m).unwrap();
+        let crossings = hamiltonian_crossings(&sys).unwrap();
+        assert!(crossings.len() >= 2, "expected a crossing cluster, got {crossings:?}");
+        let spread = crossings.last().unwrap() - crossings.first().unwrap();
+        assert!(spread < 0.1 * crossings[0], "crossings should be clustered, spread {spread}");
+        let pool = pim_runtime::ThreadPool::new(1);
+        // A coarse base that cannot see the cluster on its own.
+        let base =
+            FrequencyGrid::from_omegas(&(1..20).map(|k| k as f64 * 100.0).collect::<Vec<_>>());
+        let refined = CrossingRefined.refine(&pool, &m, &base, &crossings).unwrap();
+        for w in refined.points().windows(2) {
+            assert!(w[1] > w[0], "grid must stay strictly increasing after dedup");
+        }
+        let report = assess_with_sampling(&pool, &m, &base, &Adaptive::default()).unwrap();
+        assert!(!report.passive);
+        assert!(report.sigma_max > 1.0);
+        assert!(
+            (report.omega_at_sigma_max - 1000.0).abs() < 100.0,
+            "peak must be located inside the cluster, got {}",
+            report.omega_at_sigma_max
+        );
+    }
+
+    /// A crossing at (numerically near) ω = 0: a model whose DC gain sits
+    /// just above one. The ±0.1 % neighborhood and the ±5 % guard collapse
+    /// toward zero without producing negative frequencies, and the
+    /// strategies must classify the DC violation.
+    #[test]
+    fn crossing_at_dc_is_handled() {
+        use crate::grid::{Adaptive, SamplingStrategy};
+        // S(0) = d + r/|p| = 0.6 + 0.45 > 1, decaying above ω ≈ |p|.
+        let m = PoleResidueModel::new(
+            vec![c(-50.0, 0.0)],
+            vec![CMat::from_diag(&[c(22.5, 0.0)])],
+            Mat::from_diag(&[0.6]),
+        )
+        .unwrap();
+        let sys = StateSpace::from_pole_residue(&m).unwrap();
+        let crossings = hamiltonian_crossings(&sys).unwrap();
+        assert!(!crossings.is_empty(), "the DC violation must produce a crossing");
+        let pool = pim_runtime::ThreadPool::new(1);
+        let base = FrequencyGrid::from_omegas(
+            &std::iter::once(0.0).chain((0..40).map(|k| 2.0 * 1.3f64.powi(k))).collect::<Vec<_>>(),
+        );
+        for strategy in [&CrossingRefined as &dyn SamplingStrategy, &Adaptive::default()] {
+            let refined = strategy.refine(&pool, &m, &base, &crossings).unwrap();
+            assert!(refined.points().iter().all(|&w| w >= 0.0), "{}", strategy.name());
+            assert_eq!(refined.points()[0], 0.0, "{}: DC point lost", strategy.name());
+            let report = assess_with_sampling(&pool, &m, &base, strategy).unwrap();
+            assert!(!report.passive, "{}: DC violation missed", strategy.name());
+            assert!(
+                report.omega_at_sigma_max < crossings[0],
+                "{}: the violation lives below the first crossing",
+                strategy.name()
+            );
+        }
     }
 
     #[test]

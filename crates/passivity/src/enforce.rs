@@ -12,14 +12,16 @@
 //! L2 enforcement of eq. (10)–(11), while the sensitivity-weighted Gramians of
 //! eq. (19)–(21) (built by `pim-core`) give the paper's method.
 
-use crate::check::{assess, PassivityReport};
+use crate::check::{assess_with_sampling, PassivityReport};
 use crate::constraints::{apply_perturbation, build_constraints};
+use crate::grid::{CrossingRefined, SamplingStrategy};
 use crate::qp::{solve_block_qp_factored, BlockQpFactors, QpOptions};
 use crate::{PassivityError, Result};
 use pim_linalg::svd::svd;
 use pim_linalg::{Complex64, Mat};
 use pim_statespace::gramian::element_gramian;
 use pim_statespace::{PoleResidueModel, StateSpace};
+use std::sync::Arc;
 
 /// The per-element quadratic forms defining the perturbation norm
 /// `‖δS‖² = Σ_e δc_e G_e δc_eᵀ`.
@@ -134,6 +136,20 @@ pub struct EnforcementConfig {
     /// larger (the linearized constraints can overshoot for strong
     /// violations or strongly skewed norms).
     pub backtracking: bool,
+    /// The sampling strategy that builds the working sweep, the convergence
+    /// double-check grid and the final verification grid, and refines every
+    /// per-iteration assessment (see [`crate::grid`]). The default
+    /// [`CrossingRefined`] reproduces the historical hard-wired grids bit
+    /// for bit; [`crate::grid::Adaptive`] chases sub-grid violation bands.
+    pub sampling: Arc<dyn SamplingStrategy>,
+    /// Give up after this many *consecutive* iterations in which
+    /// backtracking bottomed out at the minimum step **and** the worst
+    /// singular value still grew — the signature of a diverging enforcement
+    /// (the dense-decap boards of the ROADMAP note). `0` disables the
+    /// guard. On trigger the loop returns
+    /// [`PassivityError::NotConverged`] carrying the best model seen so
+    /// far.
+    pub divergence_guard: usize,
     /// Options of the inner quadratic program.
     pub qp: QpOptions,
 }
@@ -148,8 +164,20 @@ impl Default for EnforcementConfig {
             band_edge_constraints: true,
             preserve_symmetry: false,
             backtracking: true,
+            sampling: Arc::new(CrossingRefined),
+            divergence_guard: 3,
             qp: QpOptions::default(),
         }
+    }
+}
+
+impl EnforcementConfig {
+    /// Builder: replaces the sampling strategy (working, double-check and
+    /// verification grids plus per-assessment refinement all follow it).
+    #[must_use]
+    pub fn sampling(mut self, strategy: impl SamplingStrategy + 'static) -> Self {
+        self.sampling = Arc::new(strategy);
+        self
     }
 }
 
@@ -172,6 +200,13 @@ pub struct EnforcementIteration {
     pub norm_increment: f64,
     /// Number of linearized singular-value constraints in the QP.
     pub constraints: usize,
+    /// Number of points of the refined working grid this iteration's
+    /// assessment swept. Under [`CrossingRefined`] it hovers near the
+    /// baseline (plus a handful of points derived from the iterate's
+    /// Hamiltonian crossings, which shift as violations shrink); under
+    /// [`crate::grid::Adaptive`] it grows substantially as the bisection
+    /// chases sub-grid features.
+    pub grid_points: usize,
 }
 
 /// Per-iteration observer hook of the enforcement loop.
@@ -312,44 +347,25 @@ fn enforce_passivity_impl(
         return Err(PassivityError::InvalidInput("sweep_points must be at least 10".into()));
     }
 
-    // Baseline sweep grid: logarithmic over (0, band_max_omega] extended one
-    // octave above the band, plus DC.
-    let sweep: Vec<f64> = {
-        let top = band_max_omega * 2.0;
-        let bottom = band_max_omega * 1e-8;
-        let n = config.sweep_points;
-        let mut v: Vec<f64> = (0..n)
-            .map(|k| {
-                10f64.powf(
-                    bottom.log10() + (top.log10() - bottom.log10()) * k as f64 / (n - 1) as f64,
-                )
-            })
-            .collect();
-        v.insert(0, 0.0);
-        v
-    };
+    // All three grids of the loop come from the one sampling strategy: the
+    // per-iteration working sweep, and the denser double-check grid that
+    // also serves as the final verification sweep (narrow violation bands
+    // can slip between the points of the working sweep).
+    let strategy = config.sampling.as_ref();
+    let pool = pim_runtime::global();
+    let sweep = strategy.working_grid(band_max_omega, config.sweep_points);
+    let verify_sweep = strategy.verification_grid(band_max_omega, config.sweep_points);
 
     let mut current = enforce_asymptotic_passivity(model, 1.0 - config.sigma_margin)?;
     let mut history = Vec::new();
     let mut accumulated_norm = 0.0;
     let mut iterations = 0;
-
-    // A denser grid used to double-check apparent convergence: narrow
-    // violation bands can slip between the points of the working sweep.
-    let verify_sweep: Vec<f64> = {
-        let top = band_max_omega * 2.0;
-        let bottom = band_max_omega * 1e-8;
-        let n = config.sweep_points * 4;
-        let mut v: Vec<f64> = (0..n)
-            .map(|k| {
-                10f64.powf(
-                    bottom.log10() + (top.log10() - bottom.log10()) * k as f64 / (n - 1) as f64,
-                )
-            })
-            .collect();
-        v.insert(0, 0.0);
-        v
-    };
+    // Best-so-far (lowest worst singular value) model, handed back inside
+    // `NotConverged` so a failed run still yields its most passive iterate.
+    let mut best: Option<(f64, PoleResidueModel)> = None;
+    // Consecutive bottomed-out-and-grew backtracking steps (the divergence
+    // guard's trigger).
+    let mut bottomed_growth = 0usize;
 
     // Quantities that are invariant across the outer iterations: the
     // perturbation only moves residues, never poles, so the shared
@@ -360,11 +376,11 @@ fn enforce_passivity_impl(
     let qp_factors = BlockQpFactors::new(norm.gramians(), config.qp.regularization)?;
 
     loop {
-        let mut report = assess(&current, &sweep)?;
+        let mut report = assess_with_sampling(pool, &current, &sweep, strategy)?;
         if report.passive {
             // Verify on the dense grid before declaring success; fall back to
             // the dense report (with its violation bands) otherwise.
-            let verification = assess(&current, &verify_sweep)?;
+            let verification = assess_with_sampling(pool, &current, &verify_sweep, strategy)?;
             if verification.passive {
                 history.push(verification.sigma_max);
                 return Ok(EnforcementOutcome {
@@ -378,8 +394,15 @@ fn enforce_passivity_impl(
             report = verification;
         }
         history.push(report.sigma_max);
+        if best.as_ref().is_none_or(|(s, _)| report.sigma_max < *s) {
+            best = Some((report.sigma_max, current.clone()));
+        }
         if iterations >= config.max_iterations {
-            return Err(PassivityError::NotConverged { iterations, sigma_max: report.sigma_max });
+            return Err(PassivityError::NotConverged {
+                iterations,
+                sigma_max: report.sigma_max,
+                best: best.map(|(_, m)| Box::new(m)),
+            });
         }
         iterations += 1;
 
@@ -434,7 +457,8 @@ fn enforce_passivity_impl(
         loop {
             let scaled: Vec<f64> = delta.iter().map(|v| v * step).collect();
             let candidate = apply_perturbation(&current, &scaled)?;
-            let candidate_sigma = assess(&candidate, &sweep)?.sigma_max;
+            let candidate_report = assess_with_sampling(pool, &candidate, &sweep, strategy)?;
+            let candidate_sigma = candidate_report.sigma_max;
             if !config.backtracking
                 || candidate_sigma <= report.sigma_max * (1.0 + 1e-9)
                 || step <= 1.0 / 16.0
@@ -449,10 +473,30 @@ fn enforce_passivity_impl(
                         step,
                         norm_increment,
                         constraints: cons.rows(),
+                        grid_points: candidate_report.grid.len(),
                     });
                     obs.on_iteration_model(iterations, &candidate);
                 }
+                // Divergence guard: backtracking bottomed out at the
+                // minimum step and the violation still grew. One such step
+                // happens in healthy runs (the next re-linearization
+                // recovers); several in a row mean the linearized QP is
+                // pushing the model the wrong way and iterating further
+                // only inflates the perturbation.
+                let grew = candidate_sigma > report.sigma_max * (1.0 + 1e-9);
+                if config.backtracking && step <= 1.0 / 16.0 && grew {
+                    bottomed_growth += 1;
+                } else {
+                    bottomed_growth = 0;
+                }
                 current = candidate;
+                if config.divergence_guard > 0 && bottomed_growth >= config.divergence_guard {
+                    return Err(PassivityError::NotConverged {
+                        iterations,
+                        sigma_max: candidate_sigma,
+                        best: best.map(|(_, m)| Box::new(m)),
+                    });
+                }
                 break;
             }
             step *= 0.5;
@@ -584,9 +628,13 @@ mod tests {
         let norm = PerturbationNorm::standard(&model).unwrap();
         let cfg = EnforcementConfig { max_iterations: 0, sweep_points: 100, ..Default::default() };
         match enforce_passivity(&model, &norm, 5000.0, &cfg) {
-            Err(PassivityError::NotConverged { iterations, sigma_max }) => {
+            Err(PassivityError::NotConverged { iterations, sigma_max, best }) => {
                 assert_eq!(iterations, 0);
                 assert!(sigma_max > 1.0);
+                // Even a zero-budget failure hands back its best iterate
+                // (here the asymptotically clipped input model).
+                let best = best.expect("best-so-far model present");
+                assert_eq!(best.poles().len(), model.poles().len());
             }
             other => panic!("expected NotConverged, got {other:?}"),
         }
@@ -624,6 +672,75 @@ mod tests {
             assert_eq!(ev.sigma_before.to_bits(), observed.sigma_max_history[k].to_bits());
             assert!(ev.step > 0.0 && ev.step <= 1.0);
             assert!(ev.constraints >= 1);
+        }
+    }
+
+    #[test]
+    fn divergence_guard_returns_not_converged_with_the_best_model() {
+        // A pathologically skewed norm: one residue direction is almost free
+        // (Gramian eigenvalue ~1e-12), so the QP pushes enormous
+        // perturbations along it, the linearization overshoots at every
+        // step, and backtracking bottoms out while sigma_max keeps growing —
+        // the divergence signature of the dense-decap boards.
+        let model = violating_one_port();
+        let g = Mat::from_rows(&[&[1.0, 0.0], &[0.0, 1e-12]]);
+        let norm = PerturbationNorm::from_gramians(vec![g], 1, 2).unwrap();
+        let cfg = EnforcementConfig { sweep_points: 100, max_iterations: 40, ..Default::default() };
+        struct Steps(Vec<EnforcementIteration>);
+        impl EnforcementObserver for Steps {
+            fn on_enforcement_iteration(&mut self, ev: &EnforcementIteration) {
+                self.0.push(*ev);
+            }
+        }
+        let mut steps = Steps(Vec::new());
+        match enforce_passivity_observed(&model, &norm, 5000.0, &cfg, &mut steps) {
+            Err(PassivityError::NotConverged { iterations, sigma_max, best }) => {
+                assert!(
+                    iterations < cfg.max_iterations,
+                    "the guard must trip before the budget ({iterations})"
+                );
+                assert!(sigma_max > 1.0);
+                // The last `divergence_guard` accepted steps all bottomed
+                // out and grew.
+                let tail = &steps.0[steps.0.len() - cfg.divergence_guard..];
+                for ev in tail {
+                    assert!(ev.step <= 1.0 / 16.0, "guard step {}", ev.step);
+                    assert!(ev.sigma_after > ev.sigma_before, "guard growth");
+                }
+                // The best-so-far model, re-assessed exactly as the loop
+                // assessed its iterates (working grid + crossing
+                // refinement), is no worse than either the start or the
+                // diverged end state.
+                let best = best.expect("best model");
+                let working = crate::grid::FrequencyGrid::enforcement_log(5000.0, cfg.sweep_points);
+                let best_sigma = assess_with_sampling(
+                    pim_runtime::global(),
+                    &best,
+                    &working,
+                    cfg.sampling.as_ref(),
+                )
+                .unwrap()
+                .sigma_max;
+                let start_sigma = steps.0[0].sigma_before;
+                assert!(
+                    best_sigma <= sigma_max && best_sigma <= start_sigma,
+                    "best-so-far ({best_sigma}) must be no worse than the start \
+                     ({start_sigma}) or the diverged end state ({sigma_max})"
+                );
+            }
+            Ok(out) => panic!(
+                "the skewed norm should diverge, but converged in {} iterations",
+                out.iterations
+            ),
+            Err(e) => panic!("expected NotConverged, got {e}"),
+        }
+        // With the guard disabled, the same loop burns the whole budget.
+        let unguarded = EnforcementConfig { divergence_guard: 0, ..cfg.clone() };
+        match enforce_passivity(&model, &norm, 5000.0, &unguarded) {
+            Err(PassivityError::NotConverged { iterations, .. }) => {
+                assert_eq!(iterations, unguarded.max_iterations);
+            }
+            other => panic!("expected budget exhaustion, got {other:?}"),
         }
     }
 

@@ -21,7 +21,14 @@
 //! * [`norm`] — the pluggable norm-construction layer: [`norm::NormKind`]
 //!   names the norm families, [`norm::NormBuilder`] abstracts building a
 //!   [`enforce::PerturbationNorm`] for a model, and [`norm::StandardNorm`]
-//!   is the built-in unweighted builder.
+//!   is the built-in unweighted builder;
+//! * [`grid`] — the first-class sampling layer: [`grid::FrequencyGrid`]
+//!   (sorted, deduplicated, provenance-tagged sweep points) and the
+//!   pluggable [`grid::SamplingStrategy`] — [`grid::FixedLog`],
+//!   [`grid::CrossingRefined`] (the historical refinement, bit for bit) and
+//!   [`grid::Adaptive`] (bisection around Hamiltonian crossings and local
+//!   σ maxima until the interpolation error falls below tolerance) — that
+//!   drives every assessment and all three enforcement grids.
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -29,15 +36,20 @@
 pub mod check;
 pub mod constraints;
 pub mod enforce;
+pub mod grid;
 pub mod norm;
 pub mod qp;
 
 pub use check::{
-    hamiltonian_crossings, is_passive, singular_value_sweep, PassivityReport, ViolationBand,
+    assess, assess_on, assess_with_sampling, hamiltonian_crossings, is_passive,
+    singular_value_sweep, singular_value_sweep_on, PassivityReport, ViolationBand,
 };
 pub use enforce::{
     enforce_passivity, enforce_passivity_observed, EnforcementConfig, EnforcementIteration,
     EnforcementObserver, EnforcementOutcome, PerturbationNorm,
+};
+pub use grid::{
+    Adaptive, CrossingRefined, FixedLog, FrequencyGrid, PointProvenance, SamplingStrategy,
 };
 pub use norm::{NormBuilder, NormKind, StandardNorm};
 
@@ -53,13 +65,18 @@ pub enum PassivityError {
     StateSpace(pim_statespace::StateSpaceError),
     /// The input model or configuration is invalid.
     InvalidInput(String),
-    /// The enforcement loop exhausted its iteration budget without producing
-    /// a passive model.
+    /// The enforcement loop exhausted its iteration budget — or tripped the
+    /// divergence guard — without producing a passive model.
     NotConverged {
         /// Number of outer iterations performed.
         iterations: usize,
         /// Worst singular value at the end of the loop.
         sigma_max: f64,
+        /// The most passive (lowest `σ_max`) model seen during the run, so
+        /// a failed enforcement still yields its best iterate. Boxed to
+        /// keep the error type small; `None` only when the loop failed
+        /// before its first assessment.
+        best: Option<Box<pim_statespace::PoleResidueModel>>,
     },
 }
 
@@ -69,7 +86,7 @@ impl fmt::Display for PassivityError {
             PassivityError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
             PassivityError::StateSpace(e) => write!(f, "model manipulation failure: {e}"),
             PassivityError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
-            PassivityError::NotConverged { iterations, sigma_max } => write!(
+            PassivityError::NotConverged { iterations, sigma_max, .. } => write!(
                 f,
                 "passivity enforcement did not converge after {iterations} iterations (sigma_max = {sigma_max})"
             ),

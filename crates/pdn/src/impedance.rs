@@ -105,20 +105,27 @@ pub fn target_impedance(
         ));
     }
 
+    // Every frequency is an independent load-and-solve; the sweep runs on
+    // the global pool with results collected by frequency index, so the
+    // output is bit-identical to the serial loop for every `PIM_THREADS`
+    // (when several frequencies fail, the error of the lowest index wins).
     let omegas = data.grid().omegas();
-    let mut values = Vec::with_capacity(data.len());
-    for (k, &omega) in omegas.iter().enumerate() {
-        let y_l = network.load_admittance(omega)?;
-        let z = loaded_impedance_matrix(data.matrix(k), data.z_ref(), &y_l)?;
-        // Voltage at the observation port for the Norton current excitation.
-        let mut v = Complex64::ZERO;
-        for (col, jj) in j.iter().enumerate() {
-            if *jj != Complex64::ZERO {
-                v += z[(observation_port, col)] * *jj;
+    let values: Vec<Complex64> = pim_runtime::global()
+        .par_map(&omegas, |k, &omega| -> Result<Complex64> {
+            let y_l = network.load_admittance(omega)?;
+            let z = loaded_impedance_matrix(data.matrix(k), data.z_ref(), &y_l)?;
+            // Voltage at the observation port for the Norton current
+            // excitation.
+            let mut v = Complex64::ZERO;
+            for (col, jj) in j.iter().enumerate() {
+                if *jj != Complex64::ZERO {
+                    v += z[(observation_port, col)] * *jj;
+                }
             }
-        }
-        values.push(v.scale(1.0 / total_current));
-    }
+            Ok(v.scale(1.0 / total_current))
+        })
+        .into_iter()
+        .collect::<Result<_>>()?;
     Ok(TargetImpedance { freqs_hz: data.grid().freqs_hz().to_vec(), values, observation_port })
 }
 

@@ -138,6 +138,13 @@ impl FrequencyGrid {
         *self.freqs_hz.last().expect("grid is never empty")
     }
 
+    /// Largest angular frequency `2π·f_max` of the grid in rad/s — the band
+    /// edge the passivity-enforcement sweep grids are anchored to.
+    /// Identical (to the bit) to the maximum of [`FrequencyGrid::omegas`].
+    pub fn max_omega(&self) -> f64 {
+        2.0 * std::f64::consts::PI * self.max_hz()
+    }
+
     /// Index of the sample closest to `f_hz`.
     pub fn nearest_index(&self, f_hz: f64) -> usize {
         let mut best = 0;

@@ -6,6 +6,8 @@
 //! Run with `cargo run --release --example quickstart`.
 
 use pim_repro::core_flow::{FlowConfig, Pipeline, Stage, StandardScenario, TraceObserver};
+use pim_repro::passivity::check::assess_on;
+use pim_repro::passivity::grid::{Adaptive, FrequencyGrid};
 use pim_repro::passivity::NormKind;
 use pim_repro::PimError;
 
@@ -52,9 +54,11 @@ fn main() -> Result<(), PimError> {
         );
     }
     // iterations_report: the per-iteration enforcement traces the observer
-    // recorded, weighted vs standard norm. This is the trajectory to inspect
-    // for the open Fig. 5 anomaly, where the final weighted model's
-    // target-impedance error lands above the standard-norm baseline.
+    // recorded, weighted vs standard norm. (Historical note: this was the
+    // diagnostic for the Fig. 5 anomaly, resolved by the adaptive sampling
+    // strategy — see the 16x-grid audit below. The reduced board under the
+    // paper-sized default enforcement parameters remains an adverse regime
+    // for both norms; the paper-faithful comparison is the Paper preset.)
     let weighted = trace.trace(NormKind::SensitivityWeighted);
     let standard = trace.trace(NormKind::Standard);
     if !weighted.is_empty() || !standard.is_empty() {
@@ -88,5 +92,33 @@ fn main() -> Result<(), PimError> {
             );
         }
     }
+
+    // Sampling-strategy audit: re-assess the delivered model on a 16x
+    // fixed-log grid it was never constrained on, then run the same flow
+    // under the adaptive strategy (which bisects toward sub-grid violation
+    // bands) and audit that model too. Historically the default-strategy
+    // model failed this audit — the Fig. 5 anomaly.
+    let band_max_omega = scenario.data.grid().max_omega();
+    let audit = FrequencyGrid::enforcement_log(
+        band_max_omega,
+        FlowConfig::default().enforcement.sweep_points * 16,
+    );
+    let default_audit = assess_on(report.final_model(), &audit)?;
+    println!(
+        "16x-grid audit (default sampling):  sigma_max {:.6} -> {}",
+        default_audit.sigma_max,
+        if default_audit.passive { "passive" } else { "NOT passive" }
+    );
+    let adaptive_report = Pipeline::from_scenario(&scenario, FlowConfig::default())?
+        .sampling(Adaptive::default())
+        .report()?;
+    let adaptive_audit = assess_on(adaptive_report.final_model(), &audit)?;
+    println!(
+        "16x-grid audit (adaptive sampling): sigma_max {:.6} -> {} \
+         (target-impedance error {:.1}%)",
+        adaptive_audit.sigma_max,
+        if adaptive_audit.passive { "passive" } else { "NOT passive" },
+        100.0 * adaptive_report.weighted_passive_eval.impedance_relative_error
+    );
     Ok(())
 }

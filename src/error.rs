@@ -114,6 +114,7 @@ mod tests {
         let core = pim_core::CoreError::Passivity(pim_passivity::PassivityError::NotConverged {
             iterations: 3,
             sigma_max: 1.2,
+            best: None,
         });
         let err = PimError::from(core);
         assert!(matches!(err, PimError::Passivity(_)));

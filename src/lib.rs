@@ -16,6 +16,7 @@
 //!
 //! ```
 //! use pim_repro::core_flow::{FitKind, FlowConfig, Pipeline, StandardScenario};
+//! use pim_repro::passivity::grid::Adaptive;
 //! use pim_repro::vectfit::VfConfig;
 //! use pim_repro::PimError;
 //!
@@ -23,9 +24,13 @@
 //! let scenario = StandardScenario::reduced()?;
 //!
 //! // A light configuration for the doc test; FlowConfig::default() is the
-//! // paper-faithful one.
+//! // paper-faithful one. The `sampling` builder picks the sweep-grid
+//! // strategy: `Adaptive` bisects toward violation bands narrower than
+//! // the grid spacing (the default `CrossingRefined` reproduces the
+//! // historical grids bit for bit).
 //! let config = FlowConfig { vf: VfConfig::with_order(10).iterations(3), ..Default::default() };
-//! let mut pipeline = Pipeline::from_scenario(&scenario, config)?;
+//! let mut pipeline =
+//!     Pipeline::from_scenario(&scenario, config)?.sampling(Adaptive::default());
 //!
 //! // Sensitivity of the target impedance to scattering perturbations
 //! // (eq. 5–6): large at low frequency, small at the top of the band.
@@ -36,9 +41,11 @@
 //! let fit = pipeline.fit(FitKind::Weighted)?;
 //! assert!(fit.result.rms_error.is_finite() && fit.result.rms_error < 0.1);
 //!
-//! // Hamiltonian passivity assessment of the fitted macromodel.
+//! // Hamiltonian passivity assessment of the fitted macromodel: the
+//! // report records the provenance-tagged grid the sweep actually ran on.
 //! let assessment = pipeline.assess()?;
 //! assert!(assessment.sigma_max_before > 0.0);
+//! assert!(!assessment.report.grid.is_empty());
 //! # Ok(())
 //! # }
 //! ```

@@ -7,26 +7,15 @@ use pim_repro::core_flow::{
     ScenarioPreset, Stage, StandardScenario, TraceObserver,
 };
 use pim_repro::linalg::{CMat, Complex64, Mat};
-use pim_repro::passivity::{EnforcementConfig, EnforcementOutcome, NormKind, PassivityError};
+use pim_repro::passivity::{EnforcementOutcome, NormKind, PassivityError};
 use pim_repro::runtime::ThreadPool;
 use pim_repro::statespace::PoleResidueModel;
-use pim_repro::vectfit::VfConfig;
 
 /// The trimmed configuration the in-crate flow tests use: identical
-/// numerics class, fraction of the runtime.
+/// numerics class, fraction of the runtime — shared with the figure
+/// harness so the fixture below is always recorded under the same config.
 fn quick_config() -> FlowConfig {
-    FlowConfig {
-        vf: VfConfig { n_poles: 18, n_iterations: 5, ..VfConfig::default() },
-        sensitivity_order: 6,
-        weight_floor: 1e-2,
-        enforcement: EnforcementConfig {
-            sweep_points: 200,
-            sigma_margin: 1e-3,
-            max_iterations: 60,
-            ..Default::default()
-        },
-        run_standard_enforcement: true,
-    }
+    pim_bench::fixture_flow_config()
 }
 
 fn assert_f64_bits(a: f64, b: f64, what: &str) {
@@ -293,9 +282,9 @@ fn not_converged_enforcement_is_cached_and_marked_failed() {
     {
         let mut pipeline = Pipeline::from_scenario(&sc, config).unwrap().with_observer(&mut trace);
         let unpack = |e: CoreError| match e {
-            CoreError::Passivity(PassivityError::NotConverged { iterations, sigma_max }) => {
-                (iterations, sigma_max)
-            }
+            CoreError::Passivity(PassivityError::NotConverged {
+                iterations, sigma_max, ..
+            }) => (iterations, sigma_max),
             other => panic!("expected NotConverged, got {other}"),
         };
         let first = unpack(pipeline.enforce(NormKind::Standard).unwrap_err());
