@@ -37,6 +37,27 @@ pub fn fixture_flow_config() -> FlowConfig {
     }
 }
 
+/// The trimmed corpus configuration shared by the integration suite
+/// (`tests/corpus.rs` / `tests/pipeline.rs`): tiny boards and a low
+/// fitting order — the same certification-gate semantics as
+/// `CorpusConfig::default()` at a fraction of the runtime, so the
+/// workspace tests can afford full corpus runs in debug builds.
+pub fn corpus_smoke_config() -> pim_core::CorpusConfig {
+    use pim_core::corpus::corpus_flow_config;
+    let mut config = pim_core::CorpusConfig::default();
+    config.generator.nx = (2, 3);
+    config.generator.ny = (2, 3);
+    config.generator.die_ports = (1, 1);
+    config.generator.decap_ports = (1, 2);
+    config.generator.vrm_ports = (1, 1);
+    config.generator.stack_stages = (0, 1);
+    config.flow = corpus_flow_config(10);
+    config.flow.enforcement.sweep_points = 120;
+    config.flow.enforcement.max_iterations = 30;
+    config.frequency_samples = 40;
+    config
+}
+
 /// Builds the reduced reproduction scenario and runs the full staged
 /// pipeline, the shared setup of every figure binary.
 ///

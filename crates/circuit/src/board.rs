@@ -15,8 +15,25 @@
 use crate::mna::{Circuit, Element};
 use crate::{CircuitError, Result};
 
+/// One series stage of the package/die attachment stack: a ball, bump or
+/// interposer level between the board plane and a die pad.
+///
+/// Cascading stages models the paper's "few layers package" vertically: each
+/// stage adds a series L/R segment and, optionally, a package-level
+/// decoupling capacitance at the intermediate node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StackStage {
+    /// Series inductance of the stage (henry, positive).
+    pub inductance: f64,
+    /// Series resistance of the stage (ohms, positive).
+    pub resistance: f64,
+    /// Decoupling capacitance from the intermediate node to the return plane
+    /// (farad); `0.0` means no capacitor at this level.
+    pub shunt_capacitance: f64,
+}
+
 /// Geometric and electrical parameters of the plane-pair PDN.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PdnBoardSpec {
     /// Number of grid cells along x.
     pub nx: usize,
@@ -40,6 +57,11 @@ pub struct PdnBoardSpec {
     pub decap_ports: Vec<(usize, usize)>,
     /// Grid coordinates of the VRM port(s).
     pub vrm_ports: Vec<(usize, usize)>,
+    /// Package+die attachment stack cascaded between the plane and every
+    /// **die** pad (closest-to-plane stage first); decap and VRM ports always
+    /// attach through their via parasitics alone. Empty (the default)
+    /// reproduces the historical direct-attach boards bit for bit.
+    pub die_stack: Vec<StackStage>,
 }
 
 impl Default for PdnBoardSpec {
@@ -56,6 +78,7 @@ impl Default for PdnBoardSpec {
             die_ports: vec![(2, 2), (3, 2), (2, 3), (3, 3)],
             decap_ports: vec![(0, 0), (5, 0), (0, 5)],
             vrm_ports: vec![(5, 5)],
+            die_stack: Vec::new(),
         }
     }
 }
@@ -136,10 +159,12 @@ pub fn build_board(spec: &PdnBoardSpec) -> Result<SyntheticPdn> {
         }
     }
 
-    // Port connections through via parasitics.
+    // Port connections through via parasitics. Die ports additionally climb
+    // the package+die stack: plane → stage 1 → … → stage n → via → pad.
     let mut seen = std::collections::HashSet::new();
     let connect_ports = |circuit: &mut Circuit,
                          coords: &[(usize, usize)],
+                         stack: &[StackStage],
                          seen: &mut std::collections::HashSet<(usize, usize)>|
      -> Result<Vec<usize>> {
         let mut indices = Vec::with_capacity(coords.len());
@@ -155,10 +180,34 @@ pub fn build_board(spec: &PdnBoardSpec) -> Result<SyntheticPdn> {
                     "port location ({ix}, {iy}) used more than once"
                 )));
             }
+            let mut attach = at(ix, iy);
+            for stage in stack {
+                let level = circuit.node();
+                circuit.add(Element::Inductor {
+                    a: level,
+                    b: attach,
+                    henry: stage.inductance,
+                    series_resistance: stage.resistance,
+                })?;
+                if stage.shunt_capacitance > 0.0 {
+                    circuit.add(Element::Capacitor {
+                        a: level,
+                        b: 0,
+                        farad: stage.shunt_capacitance,
+                        shunt_conductance: 0.0,
+                    })?;
+                } else if stage.shunt_capacitance < 0.0 {
+                    return Err(CircuitError::InvalidInput(format!(
+                        "stack stage shunt capacitance must be non-negative, got {}",
+                        stage.shunt_capacitance
+                    )));
+                }
+                attach = level;
+            }
             let pad = circuit.node();
             circuit.add(Element::Inductor {
                 a: pad,
-                b: at(ix, iy),
+                b: attach,
                 henry: spec.via_inductance,
                 series_resistance: spec.via_resistance,
             })?;
@@ -168,9 +217,9 @@ pub fn build_board(spec: &PdnBoardSpec) -> Result<SyntheticPdn> {
         Ok(indices)
     };
 
-    let die_ports = connect_ports(&mut circuit, &spec.die_ports, &mut seen)?;
-    let decap_ports = connect_ports(&mut circuit, &spec.decap_ports, &mut seen)?;
-    let vrm_ports = connect_ports(&mut circuit, &spec.vrm_ports, &mut seen)?;
+    let die_ports = connect_ports(&mut circuit, &spec.die_ports, &spec.die_stack, &mut seen)?;
+    let decap_ports = connect_ports(&mut circuit, &spec.decap_ports, &[], &mut seen)?;
+    let vrm_ports = connect_ports(&mut circuit, &spec.vrm_ports, &[], &mut seen)?;
 
     Ok(SyntheticPdn { circuit, die_ports, decap_ports, vrm_ports })
 }
@@ -262,6 +311,51 @@ mod tests {
         let path = z[(die, die)] - z[(die, vrm)];
         assert!(path.abs() < 1.0, "path impedance unexpectedly large: {}", path.abs());
         assert!(path.abs() > 1e-4);
+    }
+
+    #[test]
+    fn die_stack_cascades_under_die_pads_only() {
+        let mut spec = small_spec();
+        spec.die_stack = vec![
+            StackStage { inductance: 0.2e-9, resistance: 2e-3, shunt_capacitance: 5e-9 },
+            StackStage { inductance: 0.1e-9, resistance: 1e-3, shunt_capacitance: 0.0 },
+        ];
+        let stacked = build_board(&spec).unwrap();
+        let flat = build_board(&small_spec()).unwrap();
+        assert_eq!(stacked.ports(), flat.ports());
+        // One die port, two stages: +2 intermediate nodes, +2 inductors and
+        // +1 package capacitor over the flat board.
+        assert_eq!(stacked.circuit.node_count(), flat.circuit.node_count() + 2);
+        assert_eq!(stacked.circuit.elements().len(), flat.circuit.elements().len() + 3);
+        // A pure series stack (no package decoupling) raises the die
+        // self-inductance: at high frequency the die-port input impedance
+        // magnitude must exceed the flat board's. (With a package capacitor
+        // the comparison flips — that is what decoupling is for.)
+        let mut series_only = small_spec();
+        series_only.die_stack =
+            vec![StackStage { inductance: 0.2e-9, resistance: 2e-3, shunt_capacitance: 0.0 }];
+        let series_board = build_board(&series_only).unwrap();
+        let omega = 2.0 * std::f64::consts::PI * 1e9;
+        let z_stacked = series_board.circuit.port_impedance_at(omega).unwrap();
+        let z_flat = flat.circuit.port_impedance_at(omega).unwrap();
+        let die = series_board.die_ports[0];
+        assert!(z_stacked[(die, die)].abs() > z_flat[(die, die)].abs());
+        // Still passive data.
+        let grid = FrequencyGrid::log_space(1e3, 2e9, 20).unwrap().with_dc();
+        let s = stacked.circuit.scattering_parameters(&grid, 50.0).unwrap();
+        for k in 0..s.len() {
+            let sv = pim_linalg::svd::singular_values(s.matrix(k)).unwrap();
+            assert!(sv[0] <= 1.0 + 1e-9, "sigma {} at sample {k}", sv[0]);
+        }
+        // Negative stack values are rejected.
+        let mut bad = small_spec();
+        bad.die_stack =
+            vec![StackStage { inductance: 1e-9, resistance: 1e-3, shunt_capacitance: -1.0 }];
+        assert!(build_board(&bad).is_err());
+        let mut bad = small_spec();
+        bad.die_stack =
+            vec![StackStage { inductance: 0.0, resistance: 1e-3, shunt_capacitance: 0.0 }];
+        assert!(build_board(&bad).is_err());
     }
 
     #[test]

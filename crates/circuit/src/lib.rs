@@ -13,15 +13,25 @@
 //!   with via parasitics, die/decap/VRM port placement) whose scattering
 //!   responses have the same qualitative structure as the paper's test case:
 //!   smooth, low-loss, near-short at low frequency and mildly resonant toward
-//!   the GHz range.
+//!   the GHz range;
+//! * [`generator`] — the seeded [`generator::BoardGenerator`]: samples the
+//!   full board parameter space (grid size, port counts and placement, decap
+//!   libraries with mixed ESL/ESR populations, multi-VRM feeds, package+die
+//!   stacking) deterministically from a `(config, seed)` pair — the scenario
+//!   source of the stress-corpus harness in `pim-core`.
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod board;
+pub mod generator;
 pub mod mna;
 
-pub use board::{standard_board, PdnBoardSpec, SyntheticPdn};
+pub use board::{standard_board, PdnBoardSpec, StackStage, SyntheticPdn};
+pub use generator::{
+    default_decap_library, BoardGenerator, DecapPart, DieModel, GeneratedBoard, GeneratorConfig,
+    Placement, VrmModel,
+};
 pub use mna::{Circuit, Element};
 
 use std::error::Error;

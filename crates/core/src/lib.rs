@@ -29,17 +29,28 @@
 //!   board (from `pim-circuit`) with the nominal die / decap / VRM
 //!   termination scheme of Sec. IV, sampled on the paper's 1 kHz – 2 GHz
 //!   logarithmic grid with DC point, and the [`scenario::ScenarioPreset`]
-//!   registry of named board shapes.
+//!   registry of named board shapes;
+//! * [`corpus`] — the certification-gated stress corpus: seeded board
+//!   generation (via `pim_circuit::generator`), parallel batch
+//!   classification ([`corpus::Corpus`]) against a 16×-audit-grid passivity
+//!   gate plus a weighted-beats-standard gate, and proptest-style greedy
+//!   [`corpus::minimize`]-ation of failing scenarios into self-contained
+//!   replayable text fixtures.
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod corpus;
 pub mod flow;
 pub mod observer;
 pub mod pipeline;
 pub mod scenario;
 pub mod weighting;
 
+pub use corpus::{
+    corpus_flow_config, minimize, Corpus, CorpusCase, CorpusClass, CorpusConfig, CorpusVerdict,
+    MinimizedFixture,
+};
 pub use flow::{run_flow, FlowConfig, FlowReport, ModelEvaluation};
 pub use observer::{FlowObserver, Stage, TraceObserver};
 pub use pipeline::{

@@ -3,8 +3,26 @@
 
 use crate::{CoreError, Result};
 use pim_circuit::board::{build_board, PdnBoardSpec, SyntheticPdn};
+use pim_circuit::generator::{BoardGenerator, GeneratorConfig};
 use pim_pdn::{Termination, TerminationNetwork};
 use pim_rfdata::{FrequencyGrid, NetworkData};
+
+/// Builds a preset board spec through the [`BoardGenerator`] explicit path —
+/// the single construction route for every hand-built topology. With all
+/// ranges pinned the generated spec is bit-identical to the historical
+/// literal construction (asserted by `presets_route_through_the_generator`).
+fn explicit_board(
+    nx: usize,
+    ny: usize,
+    die: Vec<(usize, usize)>,
+    decaps: Vec<(usize, usize)>,
+    vrms: Vec<(usize, usize)>,
+) -> PdnBoardSpec {
+    BoardGenerator::new(GeneratorConfig::explicit(nx, ny, die, decaps, vrms))
+        .generate(0)
+        .expect("preset board topologies are valid")
+        .spec
+}
 
 /// Parameters of the standard scenario.
 #[derive(Debug, Clone)]
@@ -64,14 +82,7 @@ impl ScenarioConfig {
     /// behaviour while running in a fraction of the time.
     pub fn reduced() -> Self {
         ScenarioConfig {
-            board: PdnBoardSpec {
-                nx: 4,
-                ny: 4,
-                die_ports: vec![(1, 1), (2, 2)],
-                decap_ports: vec![(0, 3)],
-                vrm_ports: vec![(3, 0)],
-                ..PdnBoardSpec::default()
-            },
+            board: explicit_board(4, 4, vec![(1, 1), (2, 2)], vec![(0, 3)], vec![(3, 0)]),
             frequency_samples: 80,
             ..ScenarioConfig::default()
         }
@@ -139,21 +150,25 @@ impl ScenarioPreset {
         match self {
             ScenarioPreset::Reduced => ScenarioConfig::reduced(),
             ScenarioPreset::Paper => ScenarioConfig::default(),
-            ScenarioPreset::DenseDecap => {
-                let mut cfg = ScenarioConfig::reduced();
+            ScenarioPreset::DenseDecap => ScenarioConfig {
                 // Three decap banks spread around the die instead of one.
-                cfg.board.decap_ports = vec![(0, 3), (3, 3), (0, 0)];
-                cfg
-            }
+                board: explicit_board(
+                    4,
+                    4,
+                    vec![(1, 1), (2, 2)],
+                    vec![(0, 3), (3, 3), (0, 0)],
+                    vec![(3, 0)],
+                ),
+                ..ScenarioConfig::reduced()
+            },
             ScenarioPreset::MultiVrm => ScenarioConfig {
-                board: PdnBoardSpec {
-                    nx: 5,
-                    ny: 5,
-                    die_ports: vec![(2, 2), (2, 1)],
-                    decap_ports: vec![(0, 4), (4, 4)],
-                    vrm_ports: vec![(0, 0), (4, 0)],
-                    ..PdnBoardSpec::default()
-                },
+                board: explicit_board(
+                    5,
+                    5,
+                    vec![(2, 2), (2, 1)],
+                    vec![(0, 4), (4, 4)],
+                    vec![(0, 0), (4, 0)],
+                ),
                 frequency_samples: 80,
                 // Two VRM phases: each leg is individually weaker than the
                 // single nominal regulator.
@@ -173,15 +188,10 @@ impl ScenarioPreset {
                 die_capacitance: 100e-9,
                 ..ScenarioConfig::reduced()
             },
-            ScenarioPreset::Minimal => {
-                let mut cfg = ScenarioConfig::reduced();
-                cfg.board.nx = 3;
-                cfg.board.ny = 3;
-                cfg.board.die_ports = vec![(1, 1)];
-                cfg.board.decap_ports = vec![(0, 2)];
-                cfg.board.vrm_ports = vec![(2, 0)];
-                cfg
-            }
+            ScenarioPreset::Minimal => ScenarioConfig {
+                board: explicit_board(3, 3, vec![(1, 1)], vec![(0, 2)], vec![(2, 0)]),
+                ..ScenarioConfig::reduced()
+            },
         }
     }
 
@@ -355,6 +365,88 @@ mod tests {
         assert_eq!(ScenarioPreset::DenseDecap.build().unwrap().pdn.decap_ports.len(), 3);
         assert_eq!(ScenarioPreset::MultiVrm.build().unwrap().pdn.vrm_ports.len(), 2);
         assert_eq!(ScenarioPreset::Minimal.build().unwrap().pdn.ports(), 3);
+    }
+
+    #[test]
+    fn presets_route_through_the_generator_bit_identically() {
+        // The historical hand-built literals, kept here as the reference:
+        // `ScenarioPreset::config` now builds these boards through
+        // `BoardGenerator`'s explicit path, and the routed specs (plus the
+        // netlists built from them) must be bit-identical.
+        let literals: [(ScenarioPreset, PdnBoardSpec); 6] = [
+            (
+                ScenarioPreset::Reduced,
+                PdnBoardSpec {
+                    nx: 4,
+                    ny: 4,
+                    die_ports: vec![(1, 1), (2, 2)],
+                    decap_ports: vec![(0, 3)],
+                    vrm_ports: vec![(3, 0)],
+                    ..PdnBoardSpec::default()
+                },
+            ),
+            (ScenarioPreset::Paper, PdnBoardSpec::default()),
+            (
+                ScenarioPreset::DenseDecap,
+                PdnBoardSpec {
+                    nx: 4,
+                    ny: 4,
+                    die_ports: vec![(1, 1), (2, 2)],
+                    decap_ports: vec![(0, 3), (3, 3), (0, 0)],
+                    vrm_ports: vec![(3, 0)],
+                    ..PdnBoardSpec::default()
+                },
+            ),
+            (
+                ScenarioPreset::MultiVrm,
+                PdnBoardSpec {
+                    nx: 5,
+                    ny: 5,
+                    die_ports: vec![(2, 2), (2, 1)],
+                    decap_ports: vec![(0, 4), (4, 4)],
+                    vrm_ports: vec![(0, 0), (4, 0)],
+                    ..PdnBoardSpec::default()
+                },
+            ),
+            (
+                ScenarioPreset::BulkDecap,
+                PdnBoardSpec {
+                    nx: 4,
+                    ny: 4,
+                    die_ports: vec![(1, 1), (2, 2)],
+                    decap_ports: vec![(0, 3)],
+                    vrm_ports: vec![(3, 0)],
+                    ..PdnBoardSpec::default()
+                },
+            ),
+            (
+                ScenarioPreset::Minimal,
+                PdnBoardSpec {
+                    nx: 3,
+                    ny: 3,
+                    die_ports: vec![(1, 1)],
+                    decap_ports: vec![(0, 2)],
+                    vrm_ports: vec![(2, 0)],
+                    ..PdnBoardSpec::default()
+                },
+            ),
+        ];
+        for (preset, literal) in literals {
+            let routed = preset.config().board;
+            assert_eq!(routed, literal, "{}: routed spec differs", preset.name());
+            // The netlists agree element for element (f64 fields compared
+            // exactly through Element's PartialEq).
+            let a = build_board(&routed).unwrap();
+            let b = build_board(&literal).unwrap();
+            assert_eq!(a.circuit.elements(), b.circuit.elements(), "{}", preset.name());
+            assert_eq!(a.circuit.node_count(), b.circuit.node_count(), "{}", preset.name());
+            assert_eq!(
+                (a.die_ports, a.decap_ports, a.vrm_ports),
+                (b.die_ports, b.decap_ports, b.vrm_ports),
+                "{}",
+                preset.name()
+            );
+        }
     }
 
     #[test]

@@ -161,51 +161,9 @@ fn paper_scenario_adaptive_enforcement_certifies_on_a_16x_grid() {
     );
 }
 
-/// The 5×5 dense-decap divergence (ROADMAP PR 3 note): an order-22 fit of a
-/// 5×5 board ringed by four bulk decap banks makes the weighted enforcement
-/// walk into the divergence regime — backtracking bottoms out at the
-/// minimum step while σ_max keeps growing. The guard must convert that
-/// into an early `NotConverged` carrying the best-so-far model. Release-only
-/// (CI diagnostics step): the order-22 8-port flow is slow in debug.
-#[test]
-#[ignore = "order-22 8-port board: slow in debug, run by the CI diagnostics step"]
-fn dense_decap_5x5_divergence_trips_the_guard() {
-    use pim_repro::core_flow::{sensitivity_weighted_norm, ScenarioConfig};
-    use pim_repro::passivity::enforce::enforce_passivity;
-    use pim_repro::passivity::PassivityError;
-
-    let mut cfg = ScenarioConfig::reduced();
-    cfg.board.nx = 5;
-    cfg.board.ny = 5;
-    cfg.board.die_ports = vec![(2, 2)];
-    cfg.board.decap_ports = vec![(0, 0), (0, 4), (4, 0), (4, 4)];
-    cfg.board.vrm_ports = vec![(2, 0)];
-    cfg.decap_capacitance = 47e-6;
-    cfg.decap_esr = 8e-3;
-    cfg.decap_esl = 1.2e-9;
-    let sc = StandardScenario::build(cfg).unwrap();
-    let mut flow = FlowConfig::default();
-    flow.vf.n_poles = 22;
-    let mut pipeline = Pipeline::from_scenario(&sc, flow.clone()).unwrap();
-    let fit = pipeline.fit(FitKind::Weighted).unwrap();
-    let xi = pipeline.weighting_model().unwrap();
-    let assessment = pipeline.assess().unwrap();
-    let norm = sensitivity_weighted_norm(&fit.result.model, &xi).unwrap();
-    let e_cfg = flow.enforcement.clone().sampling(Adaptive::default());
-    match enforce_passivity(&fit.result.model, &norm, assessment.band_max_omega, &e_cfg) {
-        Err(PassivityError::NotConverged { iterations, sigma_max, best }) => {
-            assert!(
-                iterations < e_cfg.max_iterations,
-                "the guard must trip before the budget ({iterations})"
-            );
-            assert!(sigma_max > 1.0);
-            assert!(best.is_some(), "the guard must hand back the best-so-far model");
-        }
-        Ok(out) => panic!(
-            "the 5x5 dense-decap board was expected to diverge, converged in {} iterations \
-             — the divergence may be fixed; update ROADMAP and this diagnostic",
-            out.iterations
-        ),
-        Err(e) => panic!("expected NotConverged, got {e}"),
-    }
-}
+// The 5×5 dense-decap divergence diagnostic that used to live here was
+// promoted to a committed minimized corpus fixture:
+// `tests/fixtures/corpus/dense-decap-5x5.fixture`, replayed by the
+// (release-only) regression in `tests/corpus.rs` — same regime, same
+// divergence-guard assertions, now expressed as a self-contained corpus
+// case instead of an inline scenario tweak.

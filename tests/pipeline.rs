@@ -368,3 +368,58 @@ fn fig5_iteration_traces_match_the_fixture() {
         }
     }
 }
+
+/// Corpus extension of the serial-vs-parallel guarantee: running the
+/// stress corpus on a single-thread pool (the `PIM_THREADS=1` fallback
+/// path) and on a multi-thread pool must generate bit-identical boards and
+/// bit-identical verdicts for every seed.
+#[test]
+fn corpus_run_is_bit_identical_across_thread_pools() {
+    use pim_repro::circuit::BoardGenerator;
+    use pim_repro::core_flow::{Corpus, CorpusVerdict};
+
+    let config = pim_bench::corpus_smoke_config();
+    let seeds: Vec<u64> = (0..3).collect();
+
+    // Board generation is pool-independent by construction; pin it anyway —
+    // the verdict comparison below silently weakens if boards ever drift.
+    for &seed in &seeds {
+        let a = BoardGenerator::new(config.generator.clone()).generate(seed).unwrap();
+        let b = BoardGenerator::new(config.generator.clone()).generate(seed).unwrap();
+        assert_eq!(a, b, "seed {seed}: board regeneration is not bit-identical");
+    }
+
+    let serial = Corpus::run_with(&ThreadPool::new(1), &config, &seeds);
+    let parallel = Corpus::run_with(&ThreadPool::new(4), &config, &seeds);
+    assert_eq!(serial.len(), parallel.len());
+    let opt_bits = |x: Option<f64>| x.map(f64::to_bits);
+    let assert_verdict_bits = |s: &CorpusVerdict, p: &CorpusVerdict| {
+        assert_eq!(s.seed, p.seed);
+        assert_eq!(s.class, p.class, "seed {}: class drift across pools", s.seed);
+        assert_eq!((s.nx, s.ny, s.ports, s.order), (p.nx, p.ny, p.ports, p.order));
+        assert_eq!(s.iterations, p.iterations, "seed {}: iteration drift", s.seed);
+        assert_eq!(s.best_available, p.best_available);
+        assert_eq!(
+            opt_bits(s.audit_sigma_max),
+            opt_bits(p.audit_sigma_max),
+            "seed {}: audit sigma drift",
+            s.seed
+        );
+        assert_eq!(
+            opt_bits(s.weighted_error),
+            opt_bits(p.weighted_error),
+            "seed {}: weighted error drift",
+            s.seed
+        );
+        assert_eq!(
+            opt_bits(s.standard_error),
+            opt_bits(p.standard_error),
+            "seed {}: standard error drift",
+            s.seed
+        );
+        assert_eq!(s.detail, p.detail, "seed {}: detail drift", s.seed);
+    };
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_verdict_bits(s, p);
+    }
+}
