@@ -150,6 +150,7 @@ fn bench_figures(c: &mut Criterion) {
             ..Default::default()
         },
         run_standard_enforcement: true,
+        ..FlowConfig::default()
     };
     let mut sweeps = c.benchmark_group("runtime");
     sweeps.sample_size(5);

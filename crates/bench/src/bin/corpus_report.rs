@@ -6,14 +6,18 @@
 //! and optionally:
 //!
 //! * `--check <known_adverse_file>` — exit non-zero if any non-Certified
-//!   verdict is **not** listed in the committed known-adverse file (the CI
+//!   verdict is **not** listed in the committed known-adverse file, or if
+//!   the non-certified family *grew* beyond the committed list (the CI
 //!   corpus-smoke gate: new failures must be triaged, known ones must not
-//!   block);
+//!   block, and robustness regressions that re-expand the family fail
+//!   loudly);
 //! * `--emit-known-adverse` — print the known-adverse lines for the run
 //!   (used to regenerate the committed list);
-//! * `--minimize-dense-decap <path>` — greedily minimize the known 5×5
-//!   dense-decap divergence regime and write the replayable fixture to
-//!   `path` (used to regenerate `tests/fixtures/corpus/dense-decap-5x5.fixture`);
+//! * `--pin-dense-decap <path>` — classify the canonical 5×5 dense-decap
+//!   regime (historically the flagship divergence; the recovery ladder now
+//!   converges it) and write the replayable fixture with its fresh verdict
+//!   to `path` (used to regenerate
+//!   `tests/fixtures/corpus/dense-decap-5x5.fixture`);
 //! * `--minimize-failures <dir>` — auto-minimize every non-Certified corpus
 //!   scenario and write one fixture per seed into `dir`.
 //!
@@ -22,7 +26,9 @@
 
 use pim_core::corpus::{
     dense_decap_divergence_case, minimize, Corpus, CorpusClass, CorpusConfig, CorpusVerdict,
+    MinimizedFixture,
 };
+use pim_core::RecoveryRung;
 use std::collections::BTreeSet;
 use std::time::Instant;
 
@@ -39,16 +45,15 @@ fn main() {
     let mut n: usize = 100;
     let mut check: Option<String> = None;
     let mut emit_known = false;
-    let mut minimize_dense: Option<String> = None;
+    let mut pin_dense: Option<String> = None;
     let mut minimize_failures: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--check" => check = Some(it.next().expect("--check needs a path").clone()),
             "--emit-known-adverse" => emit_known = true,
-            "--minimize-dense-decap" => {
-                minimize_dense =
-                    Some(it.next().expect("--minimize-dense-decap needs a path").clone());
+            "--pin-dense-decap" => {
+                pin_dense = Some(it.next().expect("--pin-dense-decap needs a path").clone());
             }
             "--minimize-failures" => {
                 minimize_failures =
@@ -58,19 +63,31 @@ fn main() {
         }
     }
 
-    if let Some(path) = &minimize_dense {
+    if let Some(path) = &pin_dense {
+        // The canonical case is pinned as-is (no shrinking): now that the
+        // recovery ladder converges it, minimizing toward the convergent
+        // class would collapse the board to a trivial one and lose the
+        // historically-adversarial regime the fixture exists to exercise.
         let case = dense_decap_divergence_case();
-        eprintln!("minimizing the dense-decap divergence regime (this reruns the flow per shrink)");
+        eprintln!("classifying the canonical dense-decap 5x5 regime (pin, no minimization)");
         let t0 = Instant::now();
-        let (fixture, verdict) =
-            minimize(&case, CorpusClass::Diverged).expect("dense-decap case must diverge");
+        let verdict = case.classify();
+        let fixture = MinimizedFixture {
+            name: "dense-decap-5x5".to_string(),
+            class: verdict.class,
+            pinned_iterations: verdict.iterations,
+            detail: verdict.detail.clone(),
+            case,
+        };
         std::fs::write(path, fixture.serialize()).expect("write fixture");
         eprintln!(
-            "wrote {path}: {}x{} board, {} decaps, order {}, guard at iteration {} ({:.1}s)",
+            "wrote {path}: {}x{} board, {} decaps, order {}, class {} via rung {} after {} iteration(s) ({:.1}s)",
             fixture.case.board.spec.nx,
             fixture.case.board.spec.ny,
             fixture.case.board.spec.decap_ports.len(),
             fixture.case.flow.vf.n_poles,
+            verdict.class.name(),
+            verdict.rung.map_or("-", |r| r.name()),
             verdict.iterations,
             t0.elapsed().as_secs_f64()
         );
@@ -88,10 +105,10 @@ fn main() {
         "# gate: sigma_max <= 1+{:.0e} on {}x audit grid AND weighted beats standard",
         config.sigma_tolerance, config.audit_multiplier
     );
-    println!("# seed | class | board | ports | order | iters | audit sigma | Z err weighted | Z err standard | detail");
+    println!("# seed | class | board | ports | order | iters | rung | audit sigma | Z err weighted | Z err standard | detail");
     for v in &verdicts {
         println!(
-            "{:>4} | {:<9} | {}x{} | {} | {} | {:>2} | {} | {} | {} | {}",
+            "{:>4} | {:<9} | {}x{} | {} | {} | {:>2} | {:<13} | {} | {} | {} | {}",
             v.seed,
             v.class.name(),
             v.nx,
@@ -99,6 +116,7 @@ fn main() {
             v.ports,
             v.order,
             v.iterations,
+            v.rung.map_or("-", |r| r.name()),
             fmt_opt(v.audit_sigma_max),
             fmt_opt(v.weighted_error),
             fmt_opt(v.standard_error),
@@ -114,6 +132,14 @@ fn main() {
         count(CorpusClass::Adverse),
         count(CorpusClass::Diverged),
         count(CorpusClass::Failed)
+    );
+    let rung_count = |r: RecoveryRung| verdicts.iter().filter(|v| v.rung == Some(r)).count();
+    println!(
+        "# recovery: {} primary, {} regularized, {} blended, {} reduced-order",
+        rung_count(RecoveryRung::Primary),
+        rung_count(RecoveryRung::Regularized),
+        rung_count(RecoveryRung::Blended),
+        rung_count(RecoveryRung::ReducedOrder)
     );
     eprintln!("corpus run: {n} boards in {seconds:.1}s");
 
@@ -164,14 +190,28 @@ fn main() {
             .copied()
             .filter(|v| !known.contains(&known_adverse_line(v)))
             .collect();
-        if new.is_empty() {
-            println!("# check: no non-certified verdicts outside {path}");
-        } else {
+        if !new.is_empty() {
             eprintln!("# check FAILED: {} verdict(s) not in {path}:", new.len());
             for v in &new {
                 eprintln!("#   seed {} {}: {}", v.seed, v.class.name(), v.detail);
             }
             std::process::exit(1);
         }
+        // Shrinkage assertion: the non-certified family must never grow
+        // past the committed list — a robustness regression that re-expands
+        // the divergence family fails even if every seed is "known".
+        if non_certified.len() > known.len() {
+            eprintln!(
+                "# check FAILED: non-certified family grew to {} (committed list has {})",
+                non_certified.len(),
+                known.len()
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "# check: {} non-certified verdict(s), all within {path} ({} listed)",
+            non_certified.len(),
+            known.len()
+        );
     }
 }

@@ -34,6 +34,7 @@ pub fn fixture_flow_config() -> FlowConfig {
             ..Default::default()
         },
         run_standard_enforcement: true,
+        ..FlowConfig::default()
     }
 }
 

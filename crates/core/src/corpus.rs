@@ -29,6 +29,7 @@
 
 use crate::flow::FlowConfig;
 use crate::pipeline::Pipeline;
+use crate::recovery::RecoveryRung;
 use crate::{CoreError, Result};
 use pim_circuit::board::{build_board, StackStage, SyntheticPdn};
 use pim_circuit::generator::{BoardGenerator, DecapPart, DieModel, GeneratedBoard, VrmModel};
@@ -151,6 +152,7 @@ pub fn corpus_flow_config(n_poles: usize) -> FlowConfig {
         }
         .sampling(Adaptive::default()),
         run_standard_enforcement: true,
+        ..FlowConfig::default()
     }
 }
 
@@ -194,7 +196,9 @@ pub struct CorpusVerdict {
     pub ports: usize,
     /// Fitting order the flow ran at.
     pub order: usize,
-    /// `σ_max` on the audit grid (completed flows only).
+    /// `σ_max` on the audit grid: the delivered model's for completed
+    /// flows, the best-so-far model's (from the failure diagnostics) for
+    /// [`CorpusClass::Diverged`].
     pub audit_sigma_max: Option<f64>,
     /// Target-impedance error of the delivered weighted passive model.
     pub weighted_error: Option<f64>,
@@ -205,6 +209,9 @@ pub struct CorpusVerdict {
     /// Weighted enforcement iterations (0 = the fit was already passive;
     /// for `Diverged`, the iteration at which the guard fired).
     pub iterations: usize,
+    /// The recovery rung that delivered the model (completed flows only;
+    /// [`RecoveryRung::Primary`] when the ladder never engaged).
+    pub rung: Option<RecoveryRung>,
     /// For [`CorpusClass::Diverged`]: whether the enforcement handed back a
     /// best-so-far model alongside the failure.
     pub best_available: bool,
@@ -274,6 +281,7 @@ impl CorpusCase {
             weighted_error: None,
             standard_error: None,
             iterations: 0,
+            rung: None,
             best_available: false,
             detail: String::new(),
         };
@@ -284,27 +292,34 @@ impl CorpusCase {
                 return verdict;
             }
         };
-        let mut pipeline =
-            match Pipeline::from_data(&data, &network, observation_port, self.flow.clone()) {
-                Ok(p) => p,
-                Err(e) => {
-                    verdict.detail = format!("pipeline: {e}");
-                    return verdict;
-                }
-            };
+        // The contract audit and the certification gate must sweep the
+        // identical grid: sync the flow's contract parameters with the
+        // gate's before the pipeline runs.
+        let mut flow = self.flow.clone();
+        flow.contract.audit_multiplier = self.audit_multiplier;
+        flow.contract.sigma_tolerance = self.sigma_tolerance;
+        let mut pipeline = match Pipeline::from_data(&data, &network, observation_port, flow) {
+            Ok(p) => p,
+            Err(e) => {
+                verdict.detail = format!("pipeline: {e}");
+                return verdict;
+            }
+        };
         let report = match pipeline.report() {
             Ok(report) => report,
             Err(CoreError::Passivity(PassivityError::NotConverged {
                 iterations,
                 sigma_max,
                 best,
+                diagnostics,
             })) => {
                 verdict.class = CorpusClass::Diverged;
                 verdict.iterations = iterations;
                 verdict.best_available = best.is_some();
+                verdict.audit_sigma_max = diagnostics.best_sigma_max;
                 verdict.detail = format!(
                     "weighted enforcement diverged at iteration {iterations} \
-                     (sigma_max {sigma_max:.6}, best-so-far {})",
+                     (sigma_max {sigma_max:.6}, best-so-far {}); {diagnostics}",
                     if best.is_some() { "available" } else { "missing" }
                 );
                 return verdict;
@@ -316,19 +331,30 @@ impl CorpusCase {
         };
 
         // Certification gate 1: σ_max ≤ 1 + tol on a dense fixed-log audit
-        // grid the enforcement never constrained.
-        let audit_grid = FrequencyGrid::enforcement_log(
-            data.grid().max_omega(),
-            self.flow.enforcement.sweep_points * self.audit_multiplier,
-        );
-        let audit = match assess_on(report.final_model(), &audit_grid) {
-            Ok(a) => a,
-            Err(e) => {
-                verdict.detail = format!("audit: {e}");
-                return verdict;
+        // grid the enforcement never constrained. The pipeline's accuracy
+        // contract sweeps the identical grid (parameters synced above), so
+        // reuse it; recompute only when the contract was disabled.
+        let audit = match &report.contract {
+            Some(c) => (c.audit_sigma_max, None),
+            None => {
+                let audit_grid = FrequencyGrid::enforcement_log(
+                    data.grid().max_omega(),
+                    self.flow.enforcement.sweep_points * self.audit_multiplier,
+                );
+                match assess_on(report.final_model(), &audit_grid) {
+                    Ok(a) => (a.sigma_max, Some(a.omega_at_sigma_max)),
+                    Err(e) => {
+                        verdict.detail = format!("audit: {e}");
+                        return verdict;
+                    }
+                }
             }
         };
-        verdict.audit_sigma_max = Some(audit.sigma_max);
+        let (audit_sigma_max, audit_omega) = audit;
+        verdict.audit_sigma_max = Some(audit_sigma_max);
+        verdict.rung = Some(
+            report.recovery.as_ref().and_then(|r| r.delivered).unwrap_or(RecoveryRung::Primary),
+        );
         verdict.iterations =
             report.weighted_enforcement.as_ref().map(|out| out.iterations).unwrap_or(0);
         let weighted_error = report.weighted_passive_eval.impedance_relative_error;
@@ -346,13 +372,13 @@ impl CorpusCase {
         };
         verdict.standard_error = standard_error;
 
-        let audit_pass = audit.sigma_max <= 1.0 + self.sigma_tolerance;
+        let audit_pass = audit_sigma_max <= 1.0 + self.sigma_tolerance;
         let beats_standard = standard_error.is_none_or(|s| weighted_error < s);
         if audit_pass && beats_standard {
             verdict.class = CorpusClass::Certified;
             verdict.detail = format!(
                 "audit sigma_max {:.9}; weighted {:.4} vs standard {}",
-                audit.sigma_max,
+                audit_sigma_max,
                 weighted_error,
                 standard_error.map_or("n/a (baseline diverged)".into(), |s| format!("{s:.4}"))
             );
@@ -360,9 +386,11 @@ impl CorpusCase {
             verdict.class = CorpusClass::Adverse;
             let mut reasons = Vec::new();
             if !audit_pass {
+                let at =
+                    audit_omega.map_or(String::new(), |omega| format!(" at omega {omega:.3e}"));
                 reasons.push(format!(
-                    "audit sigma_max {:.9} > 1+{:.0e} at omega {:.3e}",
-                    audit.sigma_max, self.sigma_tolerance, audit.omega_at_sigma_max
+                    "audit sigma_max {:.9} > 1+{:.0e}{at}",
+                    audit_sigma_max, self.sigma_tolerance
                 ));
             }
             if !beats_standard {
@@ -431,6 +459,7 @@ impl Corpus {
                 weighted_error: None,
                 standard_error: None,
                 iterations: 0,
+                rung: None,
                 best_available: false,
                 detail: format!("generator: {e}"),
             },
@@ -809,9 +838,12 @@ impl MinimizedFixture {
 /// The known 5×5 dense-decap divergence regime (ROADMAP item 3 / the PR 5
 /// divergence-guard test) expressed as a corpus case: a 5×5 board ringed by
 /// four bulk decap banks, one central die block, an order-22 fit. The
-/// weighted enforcement walks into the divergence regime here; the
+/// *primary* weighted enforcement walks into the divergence regime here;
+/// the recovery ladder's regularized rung now converges it, so the
 /// committed `tests/fixtures/corpus/dense-decap-5x5.fixture` is this case
-/// run through [`minimize`].
+/// pinned with its fresh verdict (`corpus_report --pin-dense-decap`), not a
+/// [`minimize`] output — shrinking toward the convergent class would
+/// collapse the historically-adversarial board.
 pub fn dense_decap_divergence_case() -> CorpusCase {
     let bulk = DecapPart { capacitance: 47e-6, esr: 8e-3, esl: 1.2e-9 };
     let spec = PdnBoardSpec {

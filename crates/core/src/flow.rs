@@ -14,6 +14,7 @@
 //!    and optionally with the standard L2 norm, which is the comparison the
 //!    paper uses to demonstrate the accuracy loss of unweighted enforcement.
 
+use crate::recovery::{AccuracyContract, ContractConfig, RecoveryConfig, RecoveryReport};
 use crate::Result;
 use pim_passivity::enforce::{EnforcementConfig, EnforcementOutcome};
 use pim_pdn::{target_impedance, TargetImpedance, TerminationNetwork};
@@ -38,6 +39,12 @@ pub struct FlowConfig {
     /// Also run the standard (unweighted-norm) enforcement on the weighted
     /// model, to reproduce the paper's comparison (Fig. 5).
     pub run_standard_enforcement: bool,
+    /// The recovery ladder engaged when the weighted enforcement diverges
+    /// (see [`crate::recovery`]).
+    pub recovery: RecoveryConfig,
+    /// The accuracy contract attached to delivered models (see
+    /// [`crate::recovery::ContractConfig`]).
+    pub contract: ContractConfig,
 }
 
 impl Default for FlowConfig {
@@ -48,6 +55,8 @@ impl Default for FlowConfig {
             weight_floor: 1e-2,
             enforcement: EnforcementConfig::default(),
             run_standard_enforcement: true,
+            recovery: RecoveryConfig::default(),
+            contract: ContractConfig::default(),
         }
     }
 }
@@ -98,6 +107,12 @@ pub struct FlowReport {
     pub weighted_passive_eval: ModelEvaluation,
     /// Evaluation of the standard-norm passive model, when available.
     pub standard_passive_eval: Option<ModelEvaluation>,
+    /// Record of the recovery ladder, when it engaged (`None` on the happy
+    /// path where the primary weighted enforcement delivered).
+    pub recovery: Option<RecoveryReport>,
+    /// The accuracy contract of the delivered model (`None` under
+    /// [`crate::recovery::ContractPolicy::Off`]).
+    pub contract: Option<AccuracyContract>,
 }
 
 impl FlowReport {
@@ -169,6 +184,7 @@ mod tests {
                 ..Default::default()
             },
             run_standard_enforcement: true,
+            ..FlowConfig::default()
         }
     }
 

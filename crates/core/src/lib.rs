@@ -44,6 +44,7 @@ pub mod corpus;
 pub mod flow;
 pub mod observer;
 pub mod pipeline;
+pub mod recovery;
 pub mod scenario;
 pub mod weighting;
 
@@ -57,8 +58,14 @@ pub use pipeline::{
     AssessmentArtifact, EnforcementArtifact, FitArtifact, FitKind, Pipeline, SensitivityArtifact,
     SweepEntry,
 };
+pub use recovery::{
+    AccuracyContract, ContractConfig, ContractPolicy, RecoveryConfig, RecoveryReport, RecoveryRung,
+    RungAttempt,
+};
 pub use scenario::{ScenarioConfig, ScenarioPreset, StandardScenario};
-pub use weighting::{sensitivity_weighted_norm, SensitivityWeightedNorm};
+pub use weighting::{
+    blended_norm, sensitivity_weighted_norm, BlendedNorm, SensitivityWeightedNorm,
+};
 
 use std::error::Error;
 use std::fmt;
@@ -80,6 +87,10 @@ pub enum CoreError {
     Pdn(pim_pdn::PdnError),
     /// Synthetic circuit failure.
     Circuit(pim_circuit::CircuitError),
+    /// The delivered model failed its accuracy contract under
+    /// [`recovery::ContractPolicy::Refuse`]; the contract carries what was
+    /// measured.
+    ContractViolation(Box<recovery::AccuracyContract>),
     /// Invalid configuration or inconsistent inputs.
     InvalidInput(String),
 }
@@ -94,6 +105,7 @@ impl fmt::Display for CoreError {
             CoreError::Passivity(e) => write!(f, "passivity failure: {e}"),
             CoreError::Pdn(e) => write!(f, "pdn analysis failure: {e}"),
             CoreError::Circuit(e) => write!(f, "circuit failure: {e}"),
+            CoreError::ContractViolation(c) => write!(f, "accuracy contract violated: {c}"),
             CoreError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
         }
     }
@@ -109,6 +121,7 @@ impl Error for CoreError {
             CoreError::Passivity(e) => Some(e),
             CoreError::Pdn(e) => Some(e),
             CoreError::Circuit(e) => Some(e),
+            CoreError::ContractViolation(_) => None,
             CoreError::InvalidInput(_) => None,
         }
     }

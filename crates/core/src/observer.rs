@@ -13,8 +13,9 @@
 //! `σ_max` / perturbation-norm traces.
 
 use crate::pipeline::FitKind;
+use crate::recovery::RecoveryRung;
 use pim_passivity::enforce::EnforcementIteration;
-use pim_passivity::NormKind;
+use pim_passivity::{NormKind, NotConvergedDiagnostics};
 use std::fmt;
 
 /// One stage of the macromodeling pipeline, as reported to observers.
@@ -30,6 +31,9 @@ pub enum Stage {
     Assessment,
     /// Iterative passivity enforcement under the named norm.
     Enforcement(NormKind),
+    /// One rung of the recovery ladder retrying a diverged weighted
+    /// enforcement (see [`crate::recovery`]).
+    Recovery(RecoveryRung),
     /// Accuracy evaluation of the fitted / enforced models.
     Evaluation,
 }
@@ -43,6 +47,7 @@ impl fmt::Display for Stage {
             Stage::WeightingModel => f.write_str("weighting-model"),
             Stage::Assessment => f.write_str("assessment"),
             Stage::Enforcement(kind) => write!(f, "enforcement({kind})"),
+            Stage::Recovery(rung) => write!(f, "recovery({rung})"),
             Stage::Evaluation => f.write_str("evaluation"),
         }
     }
@@ -76,6 +81,18 @@ pub trait FlowObserver {
     fn on_enforcement_iteration(&mut self, norm: NormKind, event: &EnforcementIteration) {
         let _ = (norm, event);
     }
+
+    /// An enforcement attempt (primary or recovery rung) failed with
+    /// `NotConverged`; the diagnostics carry the guard trigger, the step
+    /// control state and the `σ_max` trajectory tail, so failures are
+    /// debuggable without a rerun.
+    fn on_enforcement_diagnostics(
+        &mut self,
+        norm: NormKind,
+        diagnostics: &NotConvergedDiagnostics,
+    ) {
+        let _ = (norm, diagnostics);
+    }
 }
 
 /// A recording [`FlowObserver`]: keeps the stage log and the per-norm
@@ -97,6 +114,9 @@ pub struct TraceObserver {
     pub failed: Vec<Stage>,
     /// Every enforcement iteration, labeled with the norm that produced it.
     pub iterations: Vec<(NormKind, EnforcementIteration)>,
+    /// Post-mortems of failed enforcement attempts (primary and recovery
+    /// rungs), labeled with the norm that diverged.
+    pub diagnostics: Vec<(NormKind, NotConvergedDiagnostics)>,
 }
 
 impl TraceObserver {
@@ -136,6 +156,14 @@ impl FlowObserver for TraceObserver {
     fn on_enforcement_iteration(&mut self, norm: NormKind, event: &EnforcementIteration) {
         self.iterations.push((norm, *event));
     }
+
+    fn on_enforcement_diagnostics(
+        &mut self,
+        norm: NormKind,
+        diagnostics: &NotConvergedDiagnostics,
+    ) {
+        self.diagnostics.push((norm, diagnostics.clone()));
+    }
 }
 
 #[cfg(test)]
@@ -152,6 +180,10 @@ mod tests {
             Stage::Assessment,
             Stage::Enforcement(NormKind::Standard),
             Stage::Enforcement(NormKind::SensitivityWeighted),
+            Stage::Enforcement(NormKind::Blended),
+            Stage::Recovery(RecoveryRung::Regularized),
+            Stage::Recovery(RecoveryRung::Blended),
+            Stage::Recovery(RecoveryRung::ReducedOrder),
             Stage::Evaluation,
         ];
         let labels: Vec<String> = stages.iter().map(|s| s.to_string()).collect();
@@ -179,6 +211,14 @@ mod tests {
         obs.on_enforcement_iteration(NormKind::SensitivityWeighted, &ev);
         obs.on_enforcement_iteration(NormKind::Standard, &ev);
         obs.on_stage_failed(Stage::Enforcement(NormKind::Standard));
+        let diag = NotConvergedDiagnostics {
+            guard_triggered: true,
+            bottomed_out: 3,
+            last_step: 0.0625,
+            sigma_tail: vec![1.2, 1.3],
+            ..Default::default()
+        };
+        obs.on_enforcement_diagnostics(NormKind::Standard, &diag);
         assert_eq!(obs.started, vec![Stage::Sensitivity]);
         assert_eq!(obs.completed, vec![Stage::Sensitivity]);
         assert_eq!(obs.failed, vec![Stage::Enforcement(NormKind::Standard)]);
@@ -187,5 +227,8 @@ mod tests {
         assert_eq!(obs.trace(NormKind::Custom("x")).len(), 0);
         assert_eq!(obs.grid_growth(NormKind::Standard), vec![201]);
         assert!(obs.grid_growth(NormKind::Custom("x")).is_empty());
+        assert_eq!(obs.diagnostics.len(), 1);
+        assert_eq!(obs.diagnostics[0].0, NormKind::Standard);
+        assert_eq!(obs.diagnostics[0].1, diag);
     }
 }

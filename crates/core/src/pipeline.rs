@@ -27,22 +27,27 @@
 
 use crate::flow::{evaluate_model, FlowConfig, FlowReport};
 use crate::observer::{FlowObserver, Stage, TraceObserver};
+use crate::recovery::{
+    AccuracyContract, ContractPolicy, RecoveryReport, RecoveryRung, RungAttempt,
+};
 use crate::scenario::{ScenarioPreset, StandardScenario};
-use crate::weighting::SensitivityWeightedNorm;
+use crate::weighting::{BlendedNorm, SensitivityWeightedNorm};
 use crate::{CoreError, Result};
-use pim_passivity::check::{assess_with_sampling, PassivityReport};
+use pim_passivity::check::{assess_on, assess_with_sampling, PassivityReport};
 use pim_passivity::enforce::{
-    enforce_passivity, enforce_passivity_observed, EnforcementIteration, EnforcementObserver,
-    EnforcementOutcome,
+    enforce_passivity, enforce_passivity_observed, EnforcementConfig, EnforcementIteration,
+    EnforcementObserver, EnforcementOutcome,
 };
 use pim_passivity::grid::{FrequencyGrid, SamplingStrategy};
 use pim_passivity::norm::{NormBuilder, NormKind, StandardNorm};
-use pim_passivity::PassivityError;
+use pim_passivity::{NotConvergedDiagnostics, PassivityError};
 use pim_pdn::sensitivity::sensitivity_to_weights;
 use pim_pdn::{analytic_sensitivity, target_impedance, TargetImpedance, TerminationNetwork};
 use pim_rfdata::{NetworkData, ParameterKind};
 use pim_statespace::PoleResidueModel;
-use pim_vectfit::{fit_magnitude, vector_fit, MagnitudeFitConfig, SensitivityModel, VfResult};
+use pim_vectfit::{
+    fit_magnitude, vector_fit, MagnitudeFitConfig, SensitivityModel, VfConfig, VfResult,
+};
 
 /// Which least-squares metric a fitting stage minimizes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -124,6 +129,19 @@ impl EnforcementObserver for NormLabeled<'_> {
     }
 }
 
+/// A pinned deterministic `NotConverged` failure: the loop would only
+/// repeat it, so replays are served from this cache. The diagnostics are
+/// enriched at cache time with the best-so-far model's own audit `σ_max`
+/// (computed once, on the contract audit grid), so a replayed failure is as
+/// debuggable as the original.
+struct FailedEnforcement {
+    kind: NormKind,
+    iterations: usize,
+    sigma_max: f64,
+    best: Option<Box<PoleResidueModel>>,
+    diagnostics: Box<NotConvergedDiagnostics>,
+}
+
 /// The staged macromodeling pipeline (see the module docs for the stage
 /// graph).
 pub struct Pipeline<'a> {
@@ -138,7 +156,12 @@ pub struct Pipeline<'a> {
     weighting: Option<SensitivityModel>,
     assessment: Option<AssessmentArtifact>,
     enforcements: Vec<(NormKind, EnforcementArtifact)>,
-    failed_enforcements: Vec<(NormKind, usize, f64, Option<Box<PoleResidueModel>>)>,
+    failed_enforcements: Vec<FailedEnforcement>,
+    /// Cached recovery-ladder outcome: `Some((report, Some(outcome)))` when
+    /// a rung delivered, `Some((report, None))` when the ladder was
+    /// exhausted, `None` when it never engaged. Deterministic, so it is
+    /// never re-run.
+    recovery: Option<(RecoveryReport, Option<EnforcementOutcome>)>,
 }
 
 impl<'a> Pipeline<'a> {
@@ -171,6 +194,7 @@ impl<'a> Pipeline<'a> {
             assessment: None,
             enforcements: Vec::new(),
             failed_enforcements: Vec::new(),
+            recovery: None,
         })
     }
 
@@ -207,6 +231,7 @@ impl<'a> Pipeline<'a> {
         self.assessment = None;
         self.enforcements.clear();
         self.failed_enforcements.clear();
+        self.recovery = None;
         self
     }
 
@@ -361,6 +386,11 @@ impl<'a> Pipeline<'a> {
                 let weighting = self.weighting_model()?;
                 self.enforce_with(&SensitivityWeightedNorm::new(weighting))
             }
+            NormKind::Blended => {
+                let weighting = self.weighting_model()?;
+                let alpha = self.config.recovery.blend_alpha;
+                self.enforce_with(&BlendedNorm::new(weighting, alpha))
+            }
             NormKind::Custom(name) => Err(CoreError::InvalidInput(format!(
                 "custom norm '{name}' has no built-in builder; use Pipeline::enforce_with"
             ))),
@@ -384,13 +414,12 @@ impl<'a> Pipeline<'a> {
         if let Some((_, artifact)) = self.enforcements.iter().find(|(k, _)| *k == kind) {
             return Ok(artifact.clone());
         }
-        if let Some((_, iterations, sigma_max, best)) =
-            self.failed_enforcements.iter().find(|(k, _, _, _)| *k == kind)
-        {
+        if let Some(failed) = self.failed_enforcements.iter().find(|f| f.kind == kind) {
             return Err(CoreError::Passivity(PassivityError::NotConverged {
-                iterations: *iterations,
-                sigma_max: *sigma_max,
-                best: best.clone(),
+                iterations: failed.iterations,
+                sigma_max: failed.sigma_max,
+                best: failed.best.clone(),
+                diagnostics: failed.diagnostics.clone(),
             }));
         }
         let assessment = self.assess()?;
@@ -427,8 +456,38 @@ impl<'a> Pipeline<'a> {
                 // attempt, and pin deterministic non-convergence so a retry
                 // does not re-run the loop (and double the recorded trace).
                 self.stage_failed(Stage::Enforcement(kind));
-                if let PassivityError::NotConverged { iterations, sigma_max, ref best } = e {
-                    self.failed_enforcements.push((kind, iterations, sigma_max, best.clone()));
+                if let PassivityError::NotConverged {
+                    iterations,
+                    sigma_max,
+                    ref best,
+                    ref diagnostics,
+                } = e
+                {
+                    // Audit the best-so-far model once at cache time, so
+                    // both this error and every replay expose its own
+                    // audit-grid sigma_max instead of the loop-sweep value.
+                    let mut diagnostics = diagnostics.clone();
+                    if let Some(best_model) = best.as_deref() {
+                        if let Ok(audit) = assess_on(best_model, &self.audit_grid()) {
+                            diagnostics.best_sigma_max = Some(audit.sigma_max);
+                        }
+                    }
+                    if let Some(obs) = self.observer.as_deref_mut() {
+                        obs.on_enforcement_diagnostics(kind, &diagnostics);
+                    }
+                    self.failed_enforcements.push(FailedEnforcement {
+                        kind,
+                        iterations,
+                        sigma_max,
+                        best: best.clone(),
+                        diagnostics: diagnostics.clone(),
+                    });
+                    return Err(CoreError::Passivity(PassivityError::NotConverged {
+                        iterations,
+                        sigma_max,
+                        best: best.clone(),
+                        diagnostics,
+                    }));
                 }
                 return Err(e.into());
             }
@@ -437,6 +496,157 @@ impl<'a> Pipeline<'a> {
         let artifact = EnforcementArtifact { norm: kind, outcome: Some(outcome) };
         self.enforcements.push((kind, artifact.clone()));
         Ok(artifact)
+    }
+
+    /// The dense fixed-log audit grid of the accuracy contract:
+    /// `sweep_points × audit_multiplier` points up to the data band edge —
+    /// frequencies the enforcement never constrained (the corpus
+    /// certification gate sweeps the identical grid).
+    fn audit_grid(&self) -> FrequencyGrid {
+        FrequencyGrid::enforcement_log(
+            self.data.grid().max_omega(),
+            self.config.enforcement.sweep_points * self.config.contract.audit_multiplier,
+        )
+    }
+
+    /// The weighted enforcement with the recovery ladder behind it: on a
+    /// [`PassivityError::NotConverged`] primary failure (and with
+    /// `config.recovery.enabled`) the pipeline retries under the escalation
+    /// policy of [`crate::recovery`] — regularized norm, blended norm,
+    /// reduced order — and returns the first rung that delivers, together
+    /// with the [`RecoveryReport`] recording every attempt.
+    ///
+    /// Returns `(outcome, None)` on the happy path (the ladder never
+    /// engaged; `outcome` is `None` when the model was already passive).
+    ///
+    /// # Errors
+    ///
+    /// When the ladder is disabled or exhausted, the primary
+    /// `NotConverged` failure (with its cache-time-audited diagnostics) is
+    /// returned; non-deterministic rung failures propagate as-is.
+    pub fn enforce_recovered(
+        &mut self,
+    ) -> Result<(Option<EnforcementOutcome>, Option<RecoveryReport>)> {
+        if let Some((report, outcome)) = self.recovery.clone() {
+            return match outcome {
+                Some(out) => Ok((Some(out), Some(report))),
+                // Exhausted ladder: replay the pinned primary failure.
+                None => Err(self
+                    .enforce(NormKind::SensitivityWeighted)
+                    .expect_err("an exhausted ladder implies a cached primary failure")),
+            };
+        }
+        match self.enforce(NormKind::SensitivityWeighted) {
+            Ok(artifact) => Ok((artifact.outcome, None)),
+            Err(CoreError::Passivity(PassivityError::NotConverged { .. }))
+                if self.config.recovery.enabled =>
+            {
+                let (report, outcome) = self.run_recovery_ladder()?;
+                self.recovery = Some((report.clone(), outcome.clone()));
+                match outcome {
+                    Some(out) => Ok((Some(out), Some(report))),
+                    None => Err(self
+                        .enforce(NormKind::SensitivityWeighted)
+                        .expect_err("the primary failure is cached")),
+                }
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Climbs the recovery ladder: regularized → blended → reduced order.
+    /// Each rung runs the full enforcement loop under a tightened adaptive
+    /// QP damping cap and an extended iteration budget; the first passive
+    /// model wins. Deterministic — the caller caches the result.
+    fn run_recovery_ladder(&mut self) -> Result<(RecoveryReport, Option<EnforcementOutcome>)> {
+        let rc = self.config.recovery.clone();
+        let band = self.assess()?.band_max_omega;
+        let weighting = self.weighting_model()?;
+        let base_model =
+            self.weighted_fit.as_ref().expect("assess caches the weighted fit").model.clone();
+        let mut cfg: EnforcementConfig = self.config.enforcement.clone();
+        cfg.max_iterations += rc.extra_iterations;
+        cfg.qp.max_condition = cfg.qp.max_condition.min(rc.max_condition);
+
+        let reduced_order =
+            self.config.vf.n_poles.saturating_sub(rc.order_reduction).max(rc.min_order);
+        let mut rungs = vec![RecoveryRung::Regularized, RecoveryRung::Blended];
+        if reduced_order < self.config.vf.n_poles {
+            rungs.push(RecoveryRung::ReducedOrder);
+        }
+
+        let mut attempts = Vec::new();
+        for rung in rungs {
+            // Materialize the rung's model and norm.
+            let (label, model, norm) = match rung {
+                RecoveryRung::Primary => unreachable!("the primary pass is not a ladder rung"),
+                RecoveryRung::Regularized => {
+                    let norm = SensitivityWeightedNorm::new(weighting.clone())
+                        .build(&base_model)
+                        .map_err(CoreError::Passivity)?;
+                    (NormKind::SensitivityWeighted, base_model.clone(), norm)
+                }
+                RecoveryRung::Blended => {
+                    let norm = BlendedNorm::new(weighting.clone(), rc.blend_alpha)
+                        .build(&base_model)
+                        .map_err(CoreError::Passivity)?;
+                    (NormKind::Blended, base_model.clone(), norm)
+                }
+                RecoveryRung::ReducedOrder => {
+                    let weights = self.sensitivity()?.weights;
+                    let vf = VfConfig { n_poles: reduced_order, ..self.config.vf.clone() };
+                    let fit = vector_fit(self.data, Some(&weights), &vf)?;
+                    let norm = SensitivityWeightedNorm::new(weighting.clone())
+                        .build(&fit.model)
+                        .map_err(CoreError::Passivity)?;
+                    (NormKind::SensitivityWeighted, fit.model, norm)
+                }
+            };
+            self.stage_start(Stage::Recovery(rung));
+            let result = match self.observer.as_deref_mut() {
+                Some(inner) => {
+                    let mut labeled = NormLabeled { inner, norm: label };
+                    enforce_passivity_observed(&model, &norm, band, &cfg, &mut labeled)
+                }
+                None => enforce_passivity(&model, &norm, band, &cfg),
+            };
+            match result {
+                Ok(outcome) => {
+                    self.stage_done(Stage::Recovery(rung));
+                    attempts.push(RungAttempt {
+                        rung,
+                        converged: true,
+                        iterations: outcome.iterations,
+                        sigma_max: outcome.report.sigma_max,
+                        detail: format!(
+                            "converged in {} iteration(s), sigma_max {:.9}",
+                            outcome.iterations, outcome.report.sigma_max
+                        ),
+                    });
+                    return Ok((RecoveryReport { attempts, delivered: Some(rung) }, Some(outcome)));
+                }
+                Err(PassivityError::NotConverged {
+                    iterations, sigma_max, diagnostics, ..
+                }) => {
+                    self.stage_failed(Stage::Recovery(rung));
+                    if let Some(obs) = self.observer.as_deref_mut() {
+                        obs.on_enforcement_diagnostics(label, &diagnostics);
+                    }
+                    attempts.push(RungAttempt {
+                        rung,
+                        converged: false,
+                        iterations,
+                        sigma_max,
+                        detail: diagnostics.to_string(),
+                    });
+                }
+                Err(e) => {
+                    self.stage_failed(Stage::Recovery(rung));
+                    return Err(e.into());
+                }
+            }
+        }
+        Ok((RecoveryReport { attempts, delivered: None }, None))
     }
 
     /// Evaluates an arbitrary macromodel against this pipeline's data and
@@ -476,7 +686,7 @@ impl<'a> Pipeline<'a> {
         let sensitivity_model = self.weighting_model()?;
         let assessment = self.assess()?;
 
-        let weighted_enforcement = self.enforce(NormKind::SensitivityWeighted)?.outcome;
+        let (weighted_enforcement, recovery) = self.enforce_recovered()?;
         let standard_enforcement =
             if !assessment.report.passive && self.config.run_standard_enforcement {
                 // The baseline is only a comparison curve: a NotConverged failure
@@ -530,6 +740,36 @@ impl<'a> Pipeline<'a> {
         };
         self.stage_done(Stage::Evaluation);
 
+        // The accuracy contract: audit the delivered model on a dense
+        // fixed-log grid it was never constrained on, and pair the result
+        // with the target-impedance error and the rung that delivered.
+        let contract = match self.config.contract.policy {
+            ContractPolicy::Off => None,
+            ContractPolicy::Report | ContractPolicy::Refuse => {
+                let audit_grid = self.audit_grid();
+                let audit =
+                    assess_on(weighted_passive_model, &audit_grid).map_err(CoreError::Passivity)?;
+                Some(AccuracyContract {
+                    rung: recovery
+                        .as_ref()
+                        .and_then(|r| r.delivered)
+                        .unwrap_or(RecoveryRung::Primary),
+                    audit_sigma_max: audit.sigma_max,
+                    audit_points: audit_grid.len(),
+                    sigma_tolerance: self.config.contract.sigma_tolerance,
+                    impedance_error: weighted_passive_eval.impedance_relative_error,
+                    max_impedance_error: self.config.contract.max_impedance_error,
+                })
+            }
+        };
+        if self.config.contract.policy == ContractPolicy::Refuse {
+            if let Some(c) = &contract {
+                if !c.within_envelope() {
+                    return Err(CoreError::ContractViolation(Box::new(c.clone())));
+                }
+            }
+        }
+
         Ok(FlowReport {
             nominal_impedance: sens.nominal_impedance,
             sensitivity: sens.sensitivity,
@@ -544,6 +784,8 @@ impl<'a> Pipeline<'a> {
             weighted_model_eval,
             weighted_passive_eval,
             standard_passive_eval,
+            recovery,
+            contract,
         })
     }
 

@@ -1,0 +1,303 @@
+//! The enforcement recovery ladder and the accuracy contract.
+//!
+//! The weighted enforcement loop can diverge on hard boards (the corpus of
+//! PR 6 diverged on 16 of 100 generated scenarios). Instead of surfacing a
+//! bare `NotConverged` with a best-so-far model stapled on, the pipeline
+//! retries under an escalation policy — the **recovery ladder**:
+//!
+//! 1. [`RecoveryRung::Primary`] — the paper's sensitivity-weighted norm
+//!    under the configured numerics (not a retry; the name of the happy
+//!    path);
+//! 2. [`RecoveryRung::Regularized`] — same norm, but the adaptive QP
+//!    damping cap is tightened (default `1e6`) so near-singular Gramian
+//!    blocks are Tikhonov-damped hard, and the iteration budget is
+//!    extended;
+//! 3. [`RecoveryRung::Blended`] — a trace-normalized blend of the weighted
+//!    and the standard Gramians (`α` weighted + `1−α` standard): part of
+//!    the accuracy weighting survives, conditioning comes from the
+//!    unweighted norm;
+//! 4. [`RecoveryRung::ReducedOrder`] — the weighted fit is redone at a
+//!    lower order (default two poles fewer) and enforced under the weighted
+//!    norm; fewer states shrink the constraint null-space that lets the
+//!    loop walk in circles.
+//!
+//! Every attempt is recorded as a [`RungAttempt`] in a [`RecoveryReport`],
+//! so callers see *what* degraded and *why*. The delivered model — whatever
+//! rung produced it — carries an [`AccuracyContract`]: its σ_max on a dense
+//! audit grid it was never constrained on, its target-impedance error, and
+//! the rung that produced it. [`ContractPolicy::Refuse`] turns the contract
+//! into a hard gate for unattended use.
+
+use std::fmt;
+
+/// The rung of the recovery ladder that produced a delivered model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RecoveryRung {
+    /// The primary sensitivity-weighted enforcement (no recovery needed).
+    Primary,
+    /// Same weighted norm with hard adaptive QP damping and an extended
+    /// iteration budget.
+    Regularized,
+    /// Trace-normalized blend of the weighted and the standard norm.
+    Blended,
+    /// Weighted refit at reduced order, enforced under the weighted norm.
+    ReducedOrder,
+}
+
+impl RecoveryRung {
+    /// Stable lowercase identifier (reports, fixtures, CLI).
+    pub fn name(self) -> &'static str {
+        match self {
+            RecoveryRung::Primary => "primary",
+            RecoveryRung::Regularized => "regularized",
+            RecoveryRung::Blended => "blended",
+            RecoveryRung::ReducedOrder => "reduced-order",
+        }
+    }
+
+    /// Parses [`RecoveryRung::name`] output.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "primary" => Some(RecoveryRung::Primary),
+            "regularized" => Some(RecoveryRung::Regularized),
+            "blended" => Some(RecoveryRung::Blended),
+            "reduced-order" => Some(RecoveryRung::ReducedOrder),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for RecoveryRung {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Configuration of the recovery ladder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryConfig {
+    /// Run the ladder at all. When `false` a diverging weighted enforcement
+    /// surfaces its `NotConverged` error exactly as before the ladder
+    /// existed.
+    pub enabled: bool,
+    /// Adaptive QP damping cap applied on every recovery rung (the primary
+    /// pass keeps its own, typically much looser, cap). Near-singular
+    /// Gramian blocks are Tikhonov-damped until their condition estimate
+    /// falls below this.
+    pub max_condition: f64,
+    /// Outer iterations added to the configured budget on every recovery
+    /// rung — a retry that runs out of road helps nobody.
+    pub extra_iterations: usize,
+    /// Weight of the sensitivity-weighted Gramians in the blended rung
+    /// (`α` weighted + `1−α` standard, trace-normalized).
+    pub blend_alpha: f64,
+    /// Conjugate-pole pairs removed by the reduced-order rung.
+    pub order_reduction: usize,
+    /// The reduced-order rung never refits below this order.
+    pub min_order: usize,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            enabled: true,
+            max_condition: 1e6,
+            extra_iterations: 40,
+            blend_alpha: 0.5,
+            order_reduction: 2,
+            min_order: 6,
+        }
+    }
+}
+
+/// One attempted rung of the recovery ladder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RungAttempt {
+    /// Which rung ran.
+    pub rung: RecoveryRung,
+    /// Whether it produced a passive model.
+    pub converged: bool,
+    /// Outer iterations the attempt performed.
+    pub iterations: usize,
+    /// Worst singular value at the end of the attempt.
+    pub sigma_max: f64,
+    /// Human-readable post-mortem (for failed attempts, the
+    /// `NotConvergedDiagnostics` rendering).
+    pub detail: String,
+}
+
+/// The record of a recovery-ladder run: every attempted rung plus the rung
+/// that delivered (when one did).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryReport {
+    /// Every rung attempted, in escalation order.
+    pub attempts: Vec<RungAttempt>,
+    /// The rung whose model was delivered; `None` when the ladder was
+    /// exhausted and the primary failure stands.
+    pub delivered: Option<RecoveryRung>,
+}
+
+impl fmt::Display for RecoveryReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.delivered {
+            Some(rung) => write!(f, "recovered at rung '{rung}'")?,
+            None => f.write_str("recovery ladder exhausted")?,
+        }
+        write!(f, " after {} attempt(s)", self.attempts.len())
+    }
+}
+
+/// What the pipeline does with a delivered model that misses its accuracy
+/// contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ContractPolicy {
+    /// Do not compute a contract (legacy behavior; `FlowReport.contract`
+    /// stays `None`).
+    Off,
+    /// Compute and attach the contract; never fail on it (the default —
+    /// callers inspect [`AccuracyContract::within_envelope`]).
+    #[default]
+    Report,
+    /// Refuse delivery: `Pipeline::report` fails with
+    /// `CoreError::ContractViolation` when the delivered model is outside
+    /// its envelope — the unattended-use mode.
+    Refuse,
+}
+
+/// Configuration of the accuracy contract attached to delivered models.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContractConfig {
+    /// Whether to compute the contract and whether it gates delivery.
+    pub policy: ContractPolicy,
+    /// Audit-grid density as a multiple of the enforcement working sweep:
+    /// the contract sweeps `sweep_points × audit_multiplier` fixed-log
+    /// points the model was never constrained on (the corpus certification
+    /// gate uses the same grid).
+    pub audit_multiplier: usize,
+    /// Passivity envelope: within-envelope means
+    /// `audit σ_max ≤ 1 + sigma_tolerance`.
+    pub sigma_tolerance: f64,
+    /// Accuracy envelope: relative RMS target-impedance error bound.
+    pub max_impedance_error: f64,
+}
+
+impl Default for ContractConfig {
+    fn default() -> Self {
+        ContractConfig {
+            policy: ContractPolicy::Report,
+            audit_multiplier: 16,
+            sigma_tolerance: 1e-8,
+            max_impedance_error: 1.0,
+        }
+    }
+}
+
+/// The accuracy contract of a delivered model: what the pipeline measured
+/// about it on grids it was never constrained on, and which recovery rung
+/// produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccuracyContract {
+    /// The recovery rung that produced the delivered model.
+    pub rung: RecoveryRung,
+    /// `σ_max` on the dense fixed-log audit grid.
+    pub audit_sigma_max: f64,
+    /// Number of audit-grid points swept.
+    pub audit_points: usize,
+    /// The passivity tolerance the contract was checked against.
+    pub sigma_tolerance: f64,
+    /// Relative RMS target-impedance error of the delivered model against
+    /// the nominal (data-based) target impedance.
+    pub impedance_error: f64,
+    /// The accuracy bound the contract was checked against.
+    pub max_impedance_error: f64,
+}
+
+impl AccuracyContract {
+    /// The delivered model holds `σ_max ≤ 1 + tol` on the audit grid.
+    pub fn passivity_ok(&self) -> bool {
+        self.audit_sigma_max <= 1.0 + self.sigma_tolerance
+    }
+
+    /// The delivered model's target-impedance error is within its bound.
+    pub fn accuracy_ok(&self) -> bool {
+        self.impedance_error <= self.max_impedance_error
+    }
+
+    /// Both contract clauses hold.
+    pub fn within_envelope(&self) -> bool {
+        self.passivity_ok() && self.accuracy_ok()
+    }
+}
+
+impl fmt::Display for AccuracyContract {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "rung '{}', audit sigma_max {:.9} over {} points (tol 1+{:.0e}), \
+             impedance error {:.4} (bound {:.2}): {}",
+            self.rung,
+            self.audit_sigma_max,
+            self.audit_points,
+            self.sigma_tolerance,
+            self.impedance_error,
+            self.max_impedance_error,
+            if self.within_envelope() { "within envelope" } else { "OUTSIDE envelope" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rung_names_round_trip() {
+        for rung in [
+            RecoveryRung::Primary,
+            RecoveryRung::Regularized,
+            RecoveryRung::Blended,
+            RecoveryRung::ReducedOrder,
+        ] {
+            assert_eq!(RecoveryRung::parse(rung.name()), Some(rung));
+        }
+        assert_eq!(RecoveryRung::parse("bogus"), None);
+    }
+
+    #[test]
+    fn contract_envelope_checks_both_clauses() {
+        let mut contract = AccuracyContract {
+            rung: RecoveryRung::Regularized,
+            audit_sigma_max: 1.0,
+            audit_points: 3200,
+            sigma_tolerance: 1e-8,
+            impedance_error: 0.2,
+            max_impedance_error: 1.0,
+        };
+        assert!(contract.within_envelope());
+        assert!(contract.to_string().contains("within envelope"));
+        contract.audit_sigma_max = 1.1;
+        assert!(!contract.passivity_ok());
+        assert!(!contract.within_envelope());
+        contract.audit_sigma_max = 1.0;
+        contract.impedance_error = 2.0;
+        assert!(!contract.accuracy_ok());
+        assert!(contract.to_string().contains("OUTSIDE envelope"));
+    }
+
+    #[test]
+    fn recovery_report_displays_outcome() {
+        let report = RecoveryReport {
+            attempts: vec![RungAttempt {
+                rung: RecoveryRung::Regularized,
+                converged: true,
+                iterations: 12,
+                sigma_max: 1.0,
+                detail: String::new(),
+            }],
+            delivered: Some(RecoveryRung::Regularized),
+        };
+        assert!(report.to_string().contains("recovered at rung 'regularized'"));
+        let exhausted = RecoveryReport { attempts: Vec::new(), delivered: None };
+        assert!(exhausted.to_string().contains("exhausted"));
+    }
+}

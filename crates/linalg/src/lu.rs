@@ -150,6 +150,29 @@ impl Lu {
         Ok(x)
     }
 
+    /// Cheap condition-number estimate from the pivot spread:
+    /// `max_i |u_ii| / min_i |u_ii|` of the factored `U`.
+    ///
+    /// For the symmetric positive-definite Gramian blocks of the enforcement
+    /// QP this tracks the true 2-norm condition number to within a modest
+    /// factor — good enough to detect the near-singular blocks that blow up
+    /// the perturbation step. Returns `f64::INFINITY` when a diagonal entry
+    /// underflows to zero.
+    pub fn condition_estimate(&self) -> f64 {
+        let n = self.dim();
+        let mut max = 0.0_f64;
+        let mut min = f64::INFINITY;
+        for i in 0..n {
+            let u = self.lu[(i, i)].abs();
+            max = max.max(u);
+            min = min.min(u);
+        }
+        if min == 0.0 {
+            return f64::INFINITY;
+        }
+        max / min
+    }
+
     /// Determinant of the original matrix.
     pub fn det(&self) -> f64 {
         let mut d = self.sign;
@@ -383,6 +406,17 @@ mod tests {
         assert_eq!(det(&s).unwrap(), 0.0);
         assert!(matches!(inverse(&s), Err(LinalgError::Singular { .. })));
         assert!(matches!(Lu::new(&Mat::zeros(2, 3)), Err(LinalgError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn condition_estimate_tracks_diagonal_spread() {
+        let well = Lu::new(&Mat::identity(3)).unwrap();
+        assert_eq!(well.condition_estimate(), 1.0);
+        let skewed = Lu::new(&Mat::from_diag(&[1.0, 1e-12])).unwrap();
+        let cond = skewed.condition_estimate();
+        assert!((cond - 1e12).abs() / 1e12 < 1e-9, "cond {cond}");
+        let tiny = Lu::new(&Mat::from_diag(&[1.0, 1e-300])).unwrap();
+        assert!(tiny.condition_estimate() > 1e290);
     }
 
     #[test]

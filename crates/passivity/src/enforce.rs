@@ -13,10 +13,10 @@
 //! eq. (19)–(21) (built by `pim-core`) give the paper's method.
 
 use crate::check::{assess_with_sampling, PassivityReport};
-use crate::constraints::{apply_perturbation, build_constraints};
+use crate::constraints::{apply_perturbation, build_constraints, ConstraintSystem};
 use crate::grid::{CrossingRefined, SamplingStrategy};
 use crate::qp::{solve_block_qp_factored, BlockQpFactors, QpOptions};
-use crate::{PassivityError, Result};
+use crate::{NotConvergedDiagnostics, PassivityError, Result};
 use pim_linalg::svd::svd;
 use pim_linalg::{Complex64, Mat};
 use pim_statespace::gramian::element_gramian;
@@ -112,6 +112,54 @@ impl PerturbationNorm {
     }
 }
 
+/// The trust-region step controller of the enforcement loop.
+///
+/// The linearized QP can produce wildly overshooting `δC` steps on
+/// ill-conditioned norms (the corpus divergence family). Once
+/// `activate_after` *consecutive* backtracking steps have bottomed out at the
+/// minimum fraction while `σ_max` still grew, the controller engages: it
+/// bounds `‖δC‖` by a radius, then grows or shrinks the radius from the
+/// ratio of the actual to the linearly predicted `σ_max` reduction. Healthy
+/// runs — where at most isolated bottomed-out steps occur — never activate
+/// it and stay bit-identical to the uncontrolled loop; backtracking remains
+/// the inner fallback either way.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrustRegionConfig {
+    /// Master switch.
+    pub enabled: bool,
+    /// Consecutive bottomed-out-and-grew steps before the controller
+    /// engages. Must stay below [`EnforcementConfig::divergence_guard`] for
+    /// the controller to pre-empt the guard.
+    pub activate_after: usize,
+    /// Reduction ratios at or above this grow the radius (when the step was
+    /// radius-limited and taken in full).
+    pub eta_good: f64,
+    /// Reduction ratios below this shrink the radius.
+    pub eta_bad: f64,
+    /// Radius growth factor on good steps.
+    pub grow: f64,
+    /// Radius shrink factor on bad steps (also scales the engagement radius
+    /// from the last bottomed-out step).
+    pub shrink: f64,
+    /// Radius floor, as a fraction of the engagement radius. At the floor
+    /// the divergence guard regains authority.
+    pub min_radius_scale: f64,
+}
+
+impl Default for TrustRegionConfig {
+    fn default() -> Self {
+        TrustRegionConfig {
+            enabled: true,
+            activate_after: 2,
+            eta_good: 0.75,
+            eta_bad: 0.25,
+            grow: 2.0,
+            shrink: 0.25,
+            min_radius_scale: 1e-6,
+        }
+    }
+}
+
 /// Configuration of the enforcement loop.
 #[derive(Debug, Clone)]
 pub struct EnforcementConfig {
@@ -152,6 +200,8 @@ pub struct EnforcementConfig {
     pub divergence_guard: usize,
     /// Options of the inner quadratic program.
     pub qp: QpOptions,
+    /// The trust-region step controller (see [`TrustRegionConfig`]).
+    pub trust_region: TrustRegionConfig,
 }
 
 impl Default for EnforcementConfig {
@@ -167,6 +217,7 @@ impl Default for EnforcementConfig {
             sampling: Arc::new(CrossingRefined),
             divergence_guard: 3,
             qp: QpOptions::default(),
+            trust_region: TrustRegionConfig::default(),
         }
     }
 }
@@ -228,6 +279,26 @@ pub trait EnforcementObserver {
     }
 }
 
+/// What the robustness machinery did during a run: whether the trust region
+/// engaged and how often it clipped, plus the adaptive QP damping state.
+/// All-zero / disengaged on healthy runs — which is exactly the bit-identity
+/// guarantee of the fixtures.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RobustnessInfo {
+    /// Whether the trust-region controller engaged at any point.
+    pub trust_region_engaged: bool,
+    /// Number of iterations whose `δC` was clipped to the radius.
+    pub trust_region_clips: usize,
+    /// Radius at the end of the run, when engaged.
+    pub final_radius: Option<f64>,
+    /// Largest relative Tikhonov λ the adaptive QP damping applied.
+    pub qp_lambda_max: f64,
+    /// Largest post-damping Gramian condition estimate.
+    pub qp_condition_max: f64,
+    /// Number of Gramian blocks whose damping was escalated above the base.
+    pub qp_damped_blocks: usize,
+}
+
 /// Result of a passivity enforcement run.
 #[derive(Debug, Clone)]
 pub struct EnforcementOutcome {
@@ -242,6 +313,8 @@ pub struct EnforcementOutcome {
     pub accumulated_norm: f64,
     /// Final passivity report.
     pub report: PassivityReport,
+    /// Trust-region / adaptive-damping activity of the run.
+    pub robustness: RobustnessInfo,
 }
 
 /// Enforces asymptotic passivity by clipping the singular values of the
@@ -364,16 +437,59 @@ fn enforce_passivity_impl(
     // `NotConverged` so a failed run still yields its most passive iterate.
     let mut best: Option<(f64, PoleResidueModel)> = None;
     // Consecutive bottomed-out-and-grew backtracking steps (the divergence
-    // guard's trigger).
+    // guard's trigger, and the trust-region engagement trigger).
     let mut bottomed_growth = 0usize;
+    let tr = &config.trust_region;
+    // Trust-region state: inactive (`None`) until `activate_after`
+    // consecutive bottomed-out-and-grew steps; every float the loop produces
+    // before activation is identical to the uncontrolled loop.
+    let mut radius: Option<f64> = None;
+    let mut radius_floor = 0.0_f64;
+    let mut robustness = RobustnessInfo::default();
+    let mut last_step = 1.0_f64;
 
     // Quantities that are invariant across the outer iterations: the
     // perturbation only moves residues, never poles, so the shared
     // per-element realization `(A_e, b_e)` used by the constraint
     // linearization is fixed, and so are the Gramian weights — factor them
-    // once instead of re-running LU per iteration.
+    // once instead of re-running LU per iteration. Near-singular blocks get
+    // adaptive Tikhonov damping (decayed as the iterate improves);
+    // well-conditioned blocks factor bit-identically to the fixed path.
     let element = StateSpace::from_pole_residue_element(&current, 0, 0)?;
-    let qp_factors = BlockQpFactors::new(norm.gramians(), config.qp.regularization)?;
+    let mut qp_factors = BlockQpFactors::new_adaptive(
+        norm.gramians(),
+        config.qp.regularization,
+        config.qp.max_condition,
+    )?;
+    record_qp_state(&mut robustness, &qp_factors);
+
+    macro_rules! not_converged {
+        ($sigma:expr, $guard:expr, $tail_extra:expr) => {{
+            let mut tail: Vec<f64> = history[history.len().saturating_sub(8)..].to_vec();
+            if let Some(extra) = $tail_extra {
+                tail.push(extra);
+                if tail.len() > 8 {
+                    tail.remove(0);
+                }
+            }
+            PassivityError::NotConverged {
+                iterations,
+                sigma_max: $sigma,
+                best: best.map(|(_, m)| Box::new(m)),
+                diagnostics: Box::new(NotConvergedDiagnostics {
+                    guard_triggered: $guard,
+                    bottomed_out: bottomed_growth,
+                    last_step,
+                    sigma_tail: tail,
+                    trust_region_engaged: robustness.trust_region_engaged,
+                    trust_region_radius: radius,
+                    qp_lambda_max: robustness.qp_lambda_max,
+                    qp_condition_max: robustness.qp_condition_max,
+                    best_sigma_max: None,
+                }),
+            }
+        }};
+    }
 
     loop {
         let mut report = assess_with_sampling(pool, &current, &sweep, strategy)?;
@@ -383,12 +499,14 @@ fn enforce_passivity_impl(
             let verification = assess_with_sampling(pool, &current, &verify_sweep, strategy)?;
             if verification.passive {
                 history.push(verification.sigma_max);
+                robustness.final_radius = radius;
                 return Ok(EnforcementOutcome {
                     model: current,
                     iterations,
                     sigma_max_history: history,
                     accumulated_norm,
                     report: verification,
+                    robustness,
                 });
             }
             report = verification;
@@ -398,11 +516,7 @@ fn enforce_passivity_impl(
             best = Some((report.sigma_max, current.clone()));
         }
         if iterations >= config.max_iterations {
-            return Err(PassivityError::NotConverged {
-                iterations,
-                sigma_max: report.sigma_max,
-                best: best.map(|(_, m)| Box::new(m)),
-            });
+            return Err(not_converged!(report.sigma_max, false, None));
         }
         iterations += 1;
 
@@ -449,6 +563,22 @@ fn enforce_passivity_impl(
             symmetrize_delta(&mut delta, current.ports(), current.order());
         }
 
+        // Trust region (primary step control once engaged): bound ‖δC‖ by
+        // the radius before the backtracking fallback sees the step.
+        let delta_norm = delta.iter().map(|v| v * v).sum::<f64>().sqrt();
+        let mut clipped = false;
+        if let Some(r) = radius {
+            if delta_norm > r && delta_norm > 0.0 {
+                let scale = r / delta_norm;
+                for v in &mut delta {
+                    *v *= scale;
+                }
+                clipped = true;
+                robustness.trust_region_clips += 1;
+            }
+        }
+        let bounded_norm = if clipped { radius.unwrap_or(delta_norm) } else { delta_norm };
+
         // Backtracking safeguard: the constraints are linearized, so a full
         // step can overshoot and make the worst singular value larger. Halve
         // the step until it no longer degrades the violation (or give up and
@@ -477,7 +607,7 @@ fn enforce_passivity_impl(
                     });
                     obs.on_iteration_model(iterations, &candidate);
                 }
-                // Divergence guard: backtracking bottomed out at the
+                // Divergence guard counter: backtracking bottomed out at the
                 // minimum step and the violation still grew. One such step
                 // happens in healthy runs (the next re-linearization
                 // recovers); several in a row mean the linearized QP is
@@ -489,18 +619,92 @@ fn enforce_passivity_impl(
                 } else {
                     bottomed_growth = 0;
                 }
+                last_step = step;
+                let taken_norm = step * bounded_norm;
+
+                // Radius update from the predicted-vs-actual σ_max
+                // reduction of the accepted step.
+                if let Some(r) = radius {
+                    let predicted = predicted_sigma_max(&cons, &scaled, config.sigma_margin)?;
+                    let actual_reduction = report.sigma_max - candidate_sigma;
+                    let predicted_reduction = report.sigma_max - predicted;
+                    let rho = if predicted_reduction > f64::EPSILON {
+                        actual_reduction / predicted_reduction
+                    } else if actual_reduction > 0.0 {
+                        1.0
+                    } else {
+                        0.0
+                    };
+                    if rho < tr.eta_bad {
+                        radius = Some((taken_norm * tr.shrink).max(radius_floor));
+                    } else if rho >= tr.eta_good && clipped && step == 1.0 {
+                        radius = Some(r * tr.grow);
+                    }
+                    robustness.final_radius = radius;
+                }
+
+                // Engagement: enough consecutive bottomed-out-and-grew
+                // steps mean backtracking alone is not controlling the
+                // overshoot — bound the next steps below the one that just
+                // failed.
+                if tr.enabled
+                    && tr.activate_after > 0
+                    && radius.is_none()
+                    && bottomed_growth >= tr.activate_after
+                {
+                    let engage = (taken_norm * tr.shrink).max(1e-300);
+                    radius = Some(engage);
+                    radius_floor = engage * tr.min_radius_scale;
+                    robustness.trust_region_engaged = true;
+                    robustness.final_radius = radius;
+                }
+
+                // Adaptive damping decays once the iterate improves again,
+                // so the converged perturbation is not biased by λ.
+                if !grew && qp_factors.damped_blocks() > 0 {
+                    qp_factors.decay(config.qp.lambda_decay)?;
+                }
+                record_qp_state(&mut robustness, &qp_factors);
+
                 current = candidate;
-                if config.divergence_guard > 0 && bottomed_growth >= config.divergence_guard {
-                    return Err(PassivityError::NotConverged {
-                        iterations,
-                        sigma_max: candidate_sigma,
-                        best: best.map(|(_, m)| Box::new(m)),
-                    });
+                // The guard keeps final authority, but only once the trust
+                // region is out of room (or was never engaged): at the
+                // radius floor with σ_max still growing, more iterations
+                // only inflate the perturbation.
+                let at_floor = radius.is_none_or(|r| r <= radius_floor * (1.0 + 1e-12));
+                if config.divergence_guard > 0
+                    && bottomed_growth >= config.divergence_guard
+                    && at_floor
+                {
+                    return Err(not_converged!(candidate_sigma, true, Some(candidate_sigma)));
                 }
                 break;
             }
             step *= 0.5;
         }
+    }
+}
+
+/// Linear prediction of the worst constrained singular value after the step
+/// `x`: `max_i (σ_i + (F·x)_i)` with `σ_i = 1 − margin − g_i` recovered from
+/// the constraint right-hand side.
+fn predicted_sigma_max(cons: &ConstraintSystem, x: &[f64], margin: f64) -> Result<f64> {
+    let fx = cons.f.matvec(x)?;
+    let mut worst = f64::NEG_INFINITY;
+    for (gi, fxi) in cons.g.iter().zip(&fx) {
+        worst = worst.max(1.0 - margin - gi + fxi);
+    }
+    Ok(worst)
+}
+
+/// Folds the current QP damping state into the run's [`RobustnessInfo`]
+/// (maxima over the run; λ counts only when escalated above the base).
+fn record_qp_state(robustness: &mut RobustnessInfo, factors: &BlockQpFactors) {
+    robustness.qp_condition_max = robustness.qp_condition_max.max(factors.max_condition_estimate());
+    robustness.qp_damped_blocks = robustness.qp_damped_blocks.max(factors.damped_blocks());
+    if factors.damped_blocks() > 0 {
+        robustness.qp_lambda_max =
+            robustness.qp_lambda_max.max(factors.max_applied_regularization());
     }
 }
 
@@ -628,13 +832,18 @@ mod tests {
         let norm = PerturbationNorm::standard(&model).unwrap();
         let cfg = EnforcementConfig { max_iterations: 0, sweep_points: 100, ..Default::default() };
         match enforce_passivity(&model, &norm, 5000.0, &cfg) {
-            Err(PassivityError::NotConverged { iterations, sigma_max, best }) => {
+            Err(PassivityError::NotConverged { iterations, sigma_max, best, diagnostics }) => {
                 assert_eq!(iterations, 0);
                 assert!(sigma_max > 1.0);
                 // Even a zero-budget failure hands back its best iterate
                 // (here the asymptotically clipped input model).
                 let best = best.expect("best-so-far model present");
                 assert_eq!(best.poles().len(), model.poles().len());
+                // Budget exhaustion, not a guard trip — and the trajectory
+                // tail carries the final sigma.
+                assert!(!diagnostics.guard_triggered);
+                assert_eq!(diagnostics.bottomed_out, 0);
+                assert_eq!(*diagnostics.sigma_tail.last().unwrap(), sigma_max);
             }
             other => panic!("expected NotConverged, got {other:?}"),
         }
@@ -685,7 +894,15 @@ mod tests {
         let model = violating_one_port();
         let g = Mat::from_rows(&[&[1.0, 0.0], &[0.0, 1e-12]]);
         let norm = PerturbationNorm::from_gramians(vec![g], 1, 2).unwrap();
-        let cfg = EnforcementConfig { sweep_points: 100, max_iterations: 40, ..Default::default() };
+        // Trust region and adaptive damping off: this test pins the legacy
+        // guard semantics (the rescue paths get their own tests below).
+        let cfg = EnforcementConfig {
+            sweep_points: 100,
+            max_iterations: 40,
+            trust_region: TrustRegionConfig { enabled: false, ..Default::default() },
+            qp: QpOptions { max_condition: f64::INFINITY, ..Default::default() },
+            ..Default::default()
+        };
         struct Steps(Vec<EnforcementIteration>);
         impl EnforcementObserver for Steps {
             fn on_enforcement_iteration(&mut self, ev: &EnforcementIteration) {
@@ -694,7 +911,7 @@ mod tests {
         }
         let mut steps = Steps(Vec::new());
         match enforce_passivity_observed(&model, &norm, 5000.0, &cfg, &mut steps) {
-            Err(PassivityError::NotConverged { iterations, sigma_max, best }) => {
+            Err(PassivityError::NotConverged { iterations, sigma_max, best, diagnostics }) => {
                 assert!(
                     iterations < cfg.max_iterations,
                     "the guard must trip before the budget ({iterations})"
@@ -727,6 +944,17 @@ mod tests {
                     "best-so-far ({best_sigma}) must be no worse than the start \
                      ({start_sigma}) or the diverged end state ({sigma_max})"
                 );
+                // The post-mortem names the guard, the bottomed-out streak
+                // and the trajectory tail — and renders them in Display.
+                assert!(diagnostics.guard_triggered);
+                assert_eq!(diagnostics.bottomed_out, cfg.divergence_guard);
+                assert!(diagnostics.last_step <= 1.0 / 16.0);
+                assert!(!diagnostics.trust_region_engaged, "trust region was disabled");
+                assert!(!diagnostics.sigma_tail.is_empty());
+                assert_eq!(*diagnostics.sigma_tail.last().unwrap(), sigma_max);
+                let rendered = diagnostics.to_string();
+                assert!(rendered.contains("divergence guard"), "{rendered}");
+                assert!(rendered.contains("sigma tail"), "{rendered}");
             }
             Ok(out) => panic!(
                 "the skewed norm should diverge, but converged in {} iterations",
@@ -742,6 +970,62 @@ mod tests {
             }
             other => panic!("expected budget exhaustion, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn trust_region_and_damping_rescue_the_skewed_norm() {
+        // The exact divergence regime of the guard test above — but with the
+        // robustness machinery on (trust region + adaptive damping, the
+        // defaults with a condition cap tight enough for this 1e12-condition
+        // Gramian): the loop must now deliver a passive model instead of
+        // tripping the guard.
+        let model = violating_one_port();
+        let g = Mat::from_rows(&[&[1.0, 0.0], &[0.0, 1e-12]]);
+        let norm = PerturbationNorm::from_gramians(vec![g], 1, 2).unwrap();
+        let cfg = EnforcementConfig {
+            sweep_points: 100,
+            max_iterations: 60,
+            qp: QpOptions { max_condition: 1e6, ..Default::default() },
+            ..Default::default()
+        };
+        let out = enforce_passivity(&model, &norm, 5000.0, &cfg)
+            .expect("robust loop must converge where the legacy loop diverged");
+        assert!(out.report.passive);
+        assert!(out.report.sigma_max <= 1.0 + 1e-9);
+        // The rescue actually exercised the new machinery.
+        assert_eq!(out.robustness.qp_damped_blocks, 1);
+        assert!(out.robustness.qp_lambda_max > cfg.qp.regularization);
+        assert!(out.robustness.qp_condition_max <= 1e6 * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn inactive_trust_region_is_bit_identical_to_the_legacy_loop() {
+        // On a healthy run the trust region never engages and the adaptive
+        // damping never escalates, so the robust loop must reproduce the
+        // legacy loop bit for bit — the guarantee that pins the committed
+        // fixtures.
+        let model = violating_one_port();
+        let norm = PerturbationNorm::standard(&model).unwrap();
+        let robust = EnforcementConfig { sweep_points: 200, ..Default::default() };
+        let legacy = EnforcementConfig {
+            sweep_points: 200,
+            trust_region: TrustRegionConfig { enabled: false, ..Default::default() },
+            qp: QpOptions { max_condition: f64::INFINITY, ..Default::default() },
+            ..Default::default()
+        };
+        let a = enforce_passivity(&model, &norm, 5000.0, &robust).unwrap();
+        let b = enforce_passivity(&model, &norm, 5000.0, &legacy).unwrap();
+        assert_eq!(a.iterations, b.iterations);
+        assert_eq!(a.accumulated_norm.to_bits(), b.accumulated_norm.to_bits());
+        for (x, y) in a.sigma_max_history.iter().zip(&b.sigma_max_history) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        for (x, y) in a.model.residues().iter().zip(b.model.residues()) {
+            assert_eq!(x.max_abs_diff(y), 0.0);
+        }
+        assert!(!a.robustness.trust_region_engaged);
+        assert_eq!(a.robustness.trust_region_clips, 0);
+        assert_eq!(a.robustness.qp_damped_blocks, 0);
     }
 
     #[test]

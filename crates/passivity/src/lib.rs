@@ -46,7 +46,7 @@ pub use check::{
 };
 pub use enforce::{
     enforce_passivity, enforce_passivity_observed, EnforcementConfig, EnforcementIteration,
-    EnforcementObserver, EnforcementOutcome, PerturbationNorm,
+    EnforcementObserver, EnforcementOutcome, PerturbationNorm, RobustnessInfo, TrustRegionConfig,
 };
 pub use grid::{
     Adaptive, CrossingRefined, FixedLog, FrequencyGrid, PointProvenance, SamplingStrategy,
@@ -55,6 +55,67 @@ pub use norm::{NormBuilder, NormKind, StandardNorm};
 
 use std::error::Error;
 use std::fmt;
+
+/// Post-mortem of a failed enforcement run, carried by
+/// [`PassivityError::NotConverged`] so failures are debuggable without a
+/// rerun: what the guard saw, where the step control ended up, and how the
+/// worst singular value was moving when the loop gave up.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct NotConvergedDiagnostics {
+    /// `true` when the divergence guard tripped; `false` when the iteration
+    /// budget ran out.
+    pub guard_triggered: bool,
+    /// Consecutive bottomed-out-and-grew backtracking steps at exit (the
+    /// guard's counter).
+    pub bottomed_out: usize,
+    /// Step fraction of the last accepted perturbation (1.0 = full step).
+    pub last_step: f64,
+    /// Tail of the per-iteration `σ_max` trajectory (up to the last 8
+    /// entries, oldest first).
+    pub sigma_tail: Vec<f64>,
+    /// Whether the trust-region controller had engaged.
+    pub trust_region_engaged: bool,
+    /// Trust-region radius at exit, when engaged.
+    pub trust_region_radius: Option<f64>,
+    /// Largest relative Tikhonov λ the adaptive QP damping applied.
+    pub qp_lambda_max: f64,
+    /// Largest post-damping Gramian condition estimate.
+    pub qp_condition_max: f64,
+    /// Audit `σ_max` of the best-so-far model, filled in by callers that
+    /// audit the `best` model once at failure-cache time (the pipeline does;
+    /// the raw loop leaves it `None`).
+    pub best_sigma_max: Option<f64>,
+}
+
+impl fmt::Display for NotConvergedDiagnostics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cause = if self.guard_triggered { "divergence guard" } else { "iteration budget" };
+        write!(f, "{cause}; bottomed-out x{}, last step {}", self.bottomed_out, self.last_step)?;
+        if self.trust_region_engaged {
+            write!(f, ", trust region engaged")?;
+            if let Some(r) = self.trust_region_radius {
+                write!(f, " (radius {r:.3e})")?;
+            }
+        }
+        if self.qp_lambda_max > 0.0 {
+            write!(f, ", qp lambda {:.1e}", self.qp_lambda_max)?;
+        }
+        if let Some(s) = self.best_sigma_max {
+            write!(f, ", best audit sigma {s:.6}")?;
+        }
+        if !self.sigma_tail.is_empty() {
+            write!(f, "; sigma tail [")?;
+            for (k, s) in self.sigma_tail.iter().enumerate() {
+                if k > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{s:.6}")?;
+            }
+            write!(f, "]")?;
+        }
+        Ok(())
+    }
+}
 
 /// Errors produced by the passivity tooling.
 #[derive(Debug)]
@@ -77,6 +138,9 @@ pub enum PassivityError {
         /// keep the error type small; `None` only when the loop failed
         /// before its first assessment.
         best: Option<Box<pim_statespace::PoleResidueModel>>,
+        /// Post-mortem of the failed run (guard trigger, step control state,
+        /// `σ_max` trajectory tail).
+        diagnostics: Box<NotConvergedDiagnostics>,
     },
 }
 
@@ -86,9 +150,9 @@ impl fmt::Display for PassivityError {
             PassivityError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
             PassivityError::StateSpace(e) => write!(f, "model manipulation failure: {e}"),
             PassivityError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
-            PassivityError::NotConverged { iterations, sigma_max, .. } => write!(
+            PassivityError::NotConverged { iterations, sigma_max, diagnostics, .. } => write!(
                 f,
-                "passivity enforcement did not converge after {iterations} iterations (sigma_max = {sigma_max})"
+                "passivity enforcement did not converge after {iterations} iterations (sigma_max = {sigma_max}; {diagnostics})"
             ),
         }
     }

@@ -25,6 +25,11 @@ pub enum NormKind {
     /// The paper's sensitivity-weighted norm: cascade Gramians of
     /// `Ξ̃(s)·δS(s)`.
     SensitivityWeighted,
+    /// A trace-normalized blend of the sensitivity-weighted and the
+    /// standard Gramians — the middle rung of the recovery ladder: it keeps
+    /// part of the accuracy weighting while restoring conditioning from the
+    /// unweighted norm.
+    Blended,
     /// An application-defined norm; the label identifies it in diagnostics.
     Custom(&'static str),
 }
@@ -34,6 +39,7 @@ impl fmt::Display for NormKind {
         match self {
             NormKind::Standard => f.write_str("standard"),
             NormKind::SensitivityWeighted => f.write_str("sensitivity-weighted"),
+            NormKind::Blended => f.write_str("blended"),
             NormKind::Custom(name) => write!(f, "custom({name})"),
         }
     }
@@ -103,14 +109,19 @@ mod tests {
 
     #[test]
     fn norm_kinds_display_distinctly() {
-        let labels: Vec<String> =
-            [NormKind::Standard, NormKind::SensitivityWeighted, NormKind::Custom("hybrid-v2")]
-                .iter()
-                .map(|k| k.to_string())
-                .collect();
+        let labels: Vec<String> = [
+            NormKind::Standard,
+            NormKind::SensitivityWeighted,
+            NormKind::Blended,
+            NormKind::Custom("hybrid-v2"),
+        ]
+        .iter()
+        .map(|k| k.to_string())
+        .collect();
         assert_eq!(labels[0], "standard");
         assert_eq!(labels[1], "sensitivity-weighted");
-        assert_eq!(labels[2], "custom(hybrid-v2)");
+        assert_eq!(labels[2], "blended");
+        assert_eq!(labels[3], "custom(hybrid-v2)");
         assert_ne!(NormKind::Custom("a"), NormKind::Custom("b"));
     }
 }

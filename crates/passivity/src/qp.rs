@@ -30,11 +30,29 @@ pub struct QpOptions {
     /// Relative Tikhonov regularization added to each Gramian block to keep
     /// the Hessian safely positive definite.
     pub regularization: f64,
+    /// Condition cap for adaptive Tikhonov damping: Gramian blocks whose LU
+    /// condition estimate exceeds this get their regularization escalated
+    /// (×100 per step) until they comply, so a near-singular block damps the
+    /// perturbation instead of blowing up the step. `f64::INFINITY` disables
+    /// the adaptive path; well-conditioned blocks are factored bit-identically
+    /// to the fixed-Tikhonov path either way.
+    pub max_condition: f64,
+    /// Relaxation factor for [`BlockQpFactors::decay`]: each accepted
+    /// improving enforcement step divides the extra damping (above the base
+    /// `regularization`) by this, so the bias vanishes as the loop converges.
+    /// Values ≤ 1 disable decay.
+    pub lambda_decay: f64,
 }
 
 impl Default for QpOptions {
     fn default() -> Self {
-        QpOptions { max_iterations: 2000, tolerance: 1e-10, regularization: 1e-10 }
+        QpOptions {
+            max_iterations: 2000,
+            tolerance: 1e-10,
+            regularization: 1e-10,
+            max_condition: 1e13,
+            lambda_decay: 10.0,
+        }
     }
 }
 
@@ -64,17 +82,71 @@ pub struct BlockQpFactors {
     blocks: Vec<Mat>,
     factors: Vec<Lu>,
     n_block: usize,
+    base_regularization: f64,
+    max_condition: f64,
+    /// Relative Tikhonov λ actually baked into each block's factorization
+    /// (`== base_regularization` for well-conditioned blocks).
+    applied: Vec<f64>,
+    /// LU condition estimate of each block after damping.
+    conditions: Vec<f64>,
+}
+
+/// Factors one block with a relative Tikhonov term `lambda`.
+fn factor_block(b: &Mat, n_block: usize, lambda: f64) -> crate::Result<Lu> {
+    let scale = b.trace().abs().max(1e-300) / n_block as f64;
+    let reg = &Mat::identity(n_block).scaled(lambda * scale);
+    Ok(Lu::new(&(b + reg))?)
+}
+
+/// Escalates `lambda` (×100 per step) until the block factors with a
+/// condition estimate at or below `max_condition`, returning the factor, the
+/// λ used and the final estimate.
+fn factor_block_capped(
+    b: &Mat,
+    n_block: usize,
+    mut lambda: f64,
+    max_condition: f64,
+) -> crate::Result<(Lu, f64, f64)> {
+    let mut attempt = factor_block(b, n_block, lambda);
+    for _ in 0..24 {
+        let cond = match &attempt {
+            Ok(lu) => lu.condition_estimate(),
+            Err(_) => f64::INFINITY,
+        };
+        if cond <= max_condition {
+            break;
+        }
+        lambda = lambda.max(1e-16) * 100.0;
+        attempt = factor_block(b, n_block, lambda);
+    }
+    let lu = attempt?;
+    let cond = lu.condition_estimate();
+    Ok((lu, lambda, cond))
 }
 
 impl BlockQpFactors {
-    /// Factors the regularized Gramian blocks. `regularization` is the
-    /// relative Tikhonov term of [`QpOptions::regularization`].
+    /// Factors the regularized Gramian blocks with the fixed Tikhonov term
+    /// `regularization` of [`QpOptions::regularization`] — no adaptive
+    /// damping (equivalent to [`BlockQpFactors::new_adaptive`] with an
+    /// infinite condition cap).
     ///
     /// # Errors
     ///
     /// Returns [`PassivityError::InvalidInput`] on inconsistent block shapes
     /// and propagates factorization failures.
     pub fn new(blocks: &[Mat], regularization: f64) -> Result<Self> {
+        Self::new_adaptive(blocks, regularization, f64::INFINITY)
+    }
+
+    /// Factors the Gramian blocks with adaptive Tikhonov damping: any block
+    /// whose LU condition estimate exceeds `max_condition` gets its λ
+    /// escalated until it complies. Well-conditioned blocks are factored
+    /// bit-identically to [`BlockQpFactors::new`].
+    ///
+    /// # Errors
+    ///
+    /// See [`BlockQpFactors::new`].
+    pub fn new_adaptive(blocks: &[Mat], regularization: f64, max_condition: f64) -> Result<Self> {
         if blocks.is_empty() {
             return Err(PassivityError::InvalidInput(
                 "at least one Gramian block is required".into(),
@@ -89,17 +161,76 @@ impl BlockQpFactors {
         // The Hessian of the primal is H = 2·blkdiag(G_e), so H⁻¹
         // applications reduce to per-block solves.
         let mut factors = Vec::with_capacity(blocks.len());
+        let mut applied = Vec::with_capacity(blocks.len());
+        let mut conditions = Vec::with_capacity(blocks.len());
         for b in blocks {
-            let scale = b.trace().abs().max(1e-300) / n_block as f64;
-            let reg = &Mat::identity(n_block).scaled(regularization * scale);
-            factors.push(Lu::new(&(b + reg))?);
+            let (lu, lambda, cond) =
+                factor_block_capped(b, n_block, regularization, max_condition)?;
+            factors.push(lu);
+            applied.push(lambda);
+            conditions.push(cond);
         }
-        Ok(BlockQpFactors { blocks: blocks.to_vec(), factors, n_block })
+        Ok(BlockQpFactors {
+            blocks: blocks.to_vec(),
+            factors,
+            n_block,
+            base_regularization: regularization,
+            max_condition,
+            applied,
+            conditions,
+        })
     }
 
     /// Total number of unknowns (`blocks · block size`).
     pub fn unknowns(&self) -> usize {
         self.blocks.len() * self.n_block
+    }
+
+    /// Largest relative Tikhonov λ baked into any block.
+    pub fn max_applied_regularization(&self) -> f64 {
+        self.applied.iter().fold(0.0, |a, &b| a.max(b))
+    }
+
+    /// Largest post-damping condition estimate across the blocks.
+    pub fn max_condition_estimate(&self) -> f64 {
+        self.conditions.iter().fold(0.0, |a, &b| a.max(b))
+    }
+
+    /// Number of blocks whose damping was escalated above the base λ.
+    pub fn damped_blocks(&self) -> usize {
+        self.applied.iter().filter(|&&l| l > self.base_regularization).count()
+    }
+
+    /// Decays the extra damping (above the base λ) of every escalated block
+    /// by `factor`, re-escalating where the condition cap would break, and
+    /// refactors the changed blocks. Returns `true` if any block changed.
+    /// No-op (and bit-identity-safe) when nothing was ever escalated.
+    ///
+    /// # Errors
+    ///
+    /// Propagates factorization failures.
+    pub fn decay(&mut self, factor: f64) -> Result<bool> {
+        if factor <= 1.0 {
+            return Ok(false);
+        }
+        let mut changed = false;
+        for e in 0..self.blocks.len() {
+            if self.applied[e] <= self.base_regularization {
+                continue;
+            }
+            let target = (self.applied[e] / factor).max(self.base_regularization);
+            let (lu, lambda, cond) =
+                factor_block_capped(&self.blocks[e], self.n_block, target, self.max_condition)?;
+            // Never escalate past the current λ from inside a decay — that
+            // would oscillate between a too-light and a too-heavy damping.
+            if lambda < self.applied[e] {
+                self.factors[e] = lu;
+                self.applied[e] = lambda;
+                self.conditions[e] = cond;
+                changed = true;
+            }
+        }
+        Ok(changed)
     }
 }
 
@@ -287,6 +418,39 @@ mod tests {
         let fx = f.matvec(&sol.x).unwrap();
         for (lhs, rhs) in fx.iter().zip(&g) {
             assert!(*lhs <= rhs + 1e-6, "constraint violated: {lhs} > {rhs}");
+        }
+    }
+
+    #[test]
+    fn adaptive_damping_caps_near_singular_blocks_and_decays() {
+        // One healthy block, one near-singular block (condition ~1e12).
+        let blocks = vec![Mat::identity(2), Mat::from_diag(&[1.0, 1e-12])];
+        let mut factors = BlockQpFactors::new_adaptive(&blocks, 1e-10, 1e6).unwrap();
+        assert_eq!(factors.damped_blocks(), 1);
+        assert!(factors.max_condition_estimate() <= 1e6);
+        assert!(factors.max_applied_regularization() > 1e-10);
+        // Decay relaxes the damping only while the cap still holds.
+        let lambda_before = factors.max_applied_regularization();
+        factors.decay(10.0).unwrap();
+        assert!(factors.max_applied_regularization() <= lambda_before);
+        assert!(factors.max_condition_estimate() <= 1e6);
+        // Decay with factor <= 1 is a no-op.
+        assert!(!factors.decay(1.0).unwrap());
+    }
+
+    #[test]
+    fn adaptive_path_is_bit_identical_for_well_conditioned_blocks() {
+        let blocks = vec![Mat::from_diag(&[2.0, 3.0]), Mat::identity(2)];
+        let f = Mat::from_rows(&[&[1.0, 1.0, 0.5, -0.25]]);
+        let g = [-1.0];
+        let plain = BlockQpFactors::new(&blocks, 1e-10).unwrap();
+        let adaptive = BlockQpFactors::new_adaptive(&blocks, 1e-10, 1e13).unwrap();
+        assert_eq!(adaptive.damped_blocks(), 0);
+        let opts = QpOptions::default();
+        let a = solve_block_qp_factored(&plain, &f, &g, &opts).unwrap();
+        let b = solve_block_qp_factored(&adaptive, &f, &g, &opts).unwrap();
+        for (x, y) in a.x.iter().zip(&b.x) {
+            assert_eq!(x.to_bits(), y.to_bits());
         }
     }
 

@@ -4,6 +4,7 @@
 use pim_linalg::lu::inverse;
 use pim_linalg::{CMat, Complex64, Mat};
 use pim_passivity::check::{hamiltonian_matrix, singular_value_sweep_with};
+use pim_passivity::qp::{solve_block_qp_factored, BlockQpFactors, QpOptions};
 use pim_runtime::ThreadPool;
 use pim_statespace::{PoleResidueModel, StateSpace};
 use proptest::prelude::*;
@@ -126,6 +127,60 @@ proptest! {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn adaptive_qp_is_bit_identical_to_fixed_tikhonov_when_well_conditioned(
+        n_blocks in 1usize..5,
+        n_block in 1usize..5,
+        m in 1usize..7,
+        lambda_pick in 0.0f64..1.0,
+        v in prop::collection::vec(-1.0f64..1.0, 128),
+    ) {
+        let lambda_zero = lambda_pick < 0.5;
+        // Diagonally dominant SPD Gramian blocks: condition stays far below
+        // any realistic cap, so the adaptive path must never escalate and
+        // the factorization (hence the QP solution) must be bit-identical
+        // to the fixed-Tikhonov path.
+        let at = |k: usize| v[k % v.len()];
+        let blocks: Vec<Mat> = (0..n_blocks)
+            .map(|e| {
+                let l = Mat::from_fn(n_block, n_block, |i, j| at(e * 31 + i * n_block + j));
+                let mut g = l.matmul(&l.transpose()).unwrap();
+                for i in 0..n_block {
+                    g[(i, i)] += n_block as f64 + 1.0;
+                }
+                g
+            })
+            .collect();
+        let n = n_blocks * n_block;
+        let f = Mat::from_fn(m, n, |i, j| at(61 + i * n + j));
+        // Mix of active (negative bound) and inactive constraints.
+        let g: Vec<f64> = (0..m).map(|i| 0.5 * at(97 + i)).collect();
+        let reg = if lambda_zero { 0.0 } else { 1e-10 };
+        let options = QpOptions { regularization: reg, ..QpOptions::default() };
+
+        let fixed = BlockQpFactors::new(&blocks, reg).unwrap();
+        let adaptive = BlockQpFactors::new_adaptive(&blocks, reg, 1e13).unwrap();
+        prop_assert!(adaptive.damped_blocks() == 0, "no block may be escalated");
+        prop_assert!(adaptive.max_applied_regularization() == reg);
+
+        let a = solve_block_qp_factored(&fixed, &f, &g, &options).unwrap();
+        let b = solve_block_qp_factored(&adaptive, &f, &g, &options).unwrap();
+        prop_assert!(a.iterations == b.iterations);
+        prop_assert!(a.objective.to_bits() == b.objective.to_bits());
+        for (k, (xa, xb)) in a.x.iter().zip(&b.x).enumerate() {
+            prop_assert!(
+                xa.to_bits() == xb.to_bits(),
+                "unknown {k} drifted: {xa} vs {xb} (lambda = {reg})"
+            );
+        }
+        for (k, (la, lb)) in a.multipliers.iter().zip(&b.multipliers).enumerate() {
+            prop_assert!(
+                la.to_bits() == lb.to_bits(),
+                "multiplier {k} drifted: {la} vs {lb}"
+            );
         }
     }
 }

@@ -1,38 +1,47 @@
-//! Integration tests of the stress-corpus harness: the committed minimized
-//! divergence fixture, its replay regression, and a seeded corpus smoke run
-//! with classification invariants.
+//! Integration tests of the stress-corpus harness: the committed pinned
+//! dense-decap fixture, its convergence-regression replay, a seeded corpus
+//! smoke run with classification invariants, and the robustness-layer
+//! properties (trust-region descent, recovery-ladder thread determinism).
 
 use pim_repro::core_flow::corpus::dense_decap_divergence_case;
-use pim_repro::core_flow::{Corpus, CorpusClass, MinimizedFixture};
+use pim_repro::core_flow::{
+    Corpus, CorpusClass, MinimizedFixture, Pipeline, RecoveryRung, TraceObserver,
+};
+use pim_runtime::ThreadPool;
 
-/// The committed minimized fixture of the known 5×5 dense-decap divergence
-/// (ROADMAP PR 3 note). Regenerate with
-/// `cargo run --release -p pim-bench --bin corpus_report -- --minimize-dense-decap tests/fixtures/corpus/dense-decap-5x5.fixture`.
+/// The committed fixture of the historical 5×5 dense-decap divergence
+/// regime, pinned with its fresh verdict (the recovery ladder now converges
+/// it). Regenerate with
+/// `cargo run --release -p pim-bench --bin corpus_report -- --pin-dense-decap tests/fixtures/corpus/dense-decap-5x5.fixture`.
 const DENSE_DECAP_FIXTURE: &str =
     concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/corpus/dense-decap-5x5.fixture");
 
 /// Fast guard on the committed artifact: it must parse, describe the known
-/// divergence regime, re-serialize byte-identically, assemble into a
-/// solvable scenario, and stay in sync with the in-code regime description
-/// it was minimized from.
+/// (historically diverging) regime, re-serialize byte-identically, assemble
+/// into a solvable scenario, and stay in sync with the in-code regime
+/// description it was pinned from.
 #[test]
 fn committed_dense_decap_fixture_parses_builds_and_round_trips() {
     let text = std::fs::read_to_string(DENSE_DECAP_FIXTURE)
-        .expect("committed fixture missing; regenerate with corpus_report --minimize-dense-decap");
+        .expect("committed fixture missing; regenerate with corpus_report --pin-dense-decap");
     let fixture = MinimizedFixture::parse(&text).unwrap();
-    assert_eq!(fixture.class, CorpusClass::Diverged);
-    // The minimizer found the historical regime already minimal under its
-    // shrink moves: the full 5×5 ring with four bulk banks at order 22.
+    // The regime used to classify Diverged; the recovery ladder converts it
+    // into a completed, contract-carrying delivery. It stays Adverse (the
+    // 16x audit finds sigma_max ~1.0000168 between the enforcement's
+    // constrained points and the recovered model does not beat the standard
+    // baseline) — but the divergence guard no longer fires and a model is
+    // delivered (see EXPERIMENTS.md).
+    assert_eq!(fixture.class, CorpusClass::Adverse);
+    // The canonical regime: the full 5×5 ring with four bulk banks at
+    // order 22 (pinned as-is, not minimized — shrinking toward the
+    // convergent class would collapse the historically-adversarial board).
     let spec = &fixture.case.board.spec;
     assert_eq!((spec.nx, spec.ny), (5, 5));
     assert_eq!(spec.die_ports, vec![(2, 2)]);
     assert_eq!(spec.decap_ports.len(), 4);
     assert_eq!(fixture.case.board.decap_models.len(), 4);
     assert_eq!(fixture.case.flow.vf.n_poles, 22);
-    // The guard fired early: the pinned iteration count is strictly inside
-    // the enforcement budget.
     assert!(fixture.pinned_iterations > 0);
-    assert!(fixture.pinned_iterations < fixture.case.flow.enforcement.max_iterations);
     // Byte-stable round trip: parse ∘ serialize = identity on the file.
     assert_eq!(fixture.serialize(), text);
     // The scenario assembles and solves without running the flow.
@@ -40,43 +49,47 @@ fn committed_dense_decap_fixture_parses_builds_and_round_trips() {
     assert_eq!(pdn.ports(), 6);
     assert_eq!(observation_port, pdn.die_ports[0]);
     assert_eq!(data.grid().len(), fixture.case.frequency_samples + 1);
-    // The committed fixture is the minimization of the in-code regime; the
-    // two must not drift apart.
+    // The committed fixture pins the in-code regime; the two must not
+    // drift apart.
     let regime = dense_decap_divergence_case();
     assert_eq!(regime.board.spec, fixture.case.board.spec);
     assert_eq!(regime.flow.vf.n_poles, fixture.case.flow.vf.n_poles);
 }
 
-/// The promoted divergence regression (formerly the ignored diagnostic in
-/// `tests/fig5_anomaly.rs`): replaying the committed fixture must diverge —
-/// `NotConverged` with the best-so-far model populated — and the divergence
-/// guard must fire within the pinned iteration budget. Release-only: the
-/// order-22 6-port flow is slow in debug (CI runs it in the diagnostics
-/// step).
+/// The promoted convergence regression (formerly the divergence replay):
+/// replaying the committed fixture must *converge* through the recovery
+/// ladder — no divergence guard, a delivered model, the delivery rung and
+/// the audit recorded — reproducing the pinned verdict exactly.
+/// Release-only: the order-22 6-port flow is slow in debug (CI runs it in
+/// the release test step).
 #[test]
-#[ignore = "order-22 6-port board: slow in debug, run by the CI diagnostics step"]
-fn dense_decap_fixture_replays_to_divergence() {
+#[ignore = "order-22 6-port board: slow in debug, run by the CI release test step"]
+fn dense_decap_fixture_replays_to_convergence() {
     let text = std::fs::read_to_string(DENSE_DECAP_FIXTURE).unwrap();
     let fixture = MinimizedFixture::parse(&text).unwrap();
     let verdict = fixture.replay();
-    assert_eq!(
+    assert_ne!(
         verdict.class,
         CorpusClass::Diverged,
-        "the committed regime no longer diverges ({}) — the numerics changed; \
-         re-minimize the fixture and update the ROADMAP story",
+        "the historical divergence regime must converge through the recovery \
+         ladder ({}) — if this regressed, the robustness layer changed; \
+         re-pin the fixture and update the EXPERIMENTS story",
         verdict.detail
     );
-    assert!(verdict.best_available, "the divergence guard must hand back the best-so-far model");
-    assert!(
-        verdict.iterations <= fixture.pinned_iterations,
-        "guard fired at iteration {} but the fixture pins {}",
-        verdict.iterations,
-        fixture.pinned_iterations
+    assert_eq!(verdict.class, fixture.class, "replay must reproduce the pinned class");
+    assert_eq!(
+        verdict.iterations, fixture.pinned_iterations,
+        "the delivering enforcement must match the pinned iteration count"
     );
+    assert_eq!(verdict.detail, fixture.detail, "replay must reproduce the pinned detail");
+    let rung = verdict.rung.expect("a completed flow carries its delivery rung");
     assert!(
-        verdict.iterations < fixture.case.flow.enforcement.max_iterations,
-        "the guard must trip before the enforcement budget"
+        rung > RecoveryRung::Primary,
+        "the regime diverges under the primary enforcement; delivery must \
+         come from a recovery rung, got {rung}"
     );
+    let sigma = verdict.audit_sigma_max.expect("completed flows carry the 16x audit");
+    assert!(sigma.is_finite() && sigma > 0.0, "audit sigma_max {sigma}");
 }
 
 /// Seeded corpus smoke run: every seed of the trimmed configuration yields
@@ -98,13 +111,16 @@ fn seeded_corpus_run_classifies_consistently_and_reproduces() {
                 if let Some(standard) = v.standard_error {
                     assert!(weighted < standard, "seed {seed}: gate 2 must hold");
                 }
+                assert!(v.rung.is_some(), "seed {seed}: completed flows carry the rung");
             }
             CorpusClass::Adverse => {
                 assert!(v.audit_sigma_max.is_some(), "adverse implies a completed flow");
+                assert!(v.rung.is_some(), "seed {seed}: completed flows carry the rung");
                 assert!(!v.detail.is_empty());
             }
             CorpusClass::Diverged => {
                 assert!(v.iterations > 0, "divergence carries the failing iteration");
+                assert!(v.rung.is_none(), "diverged flows deliver no model, hence no rung");
             }
             CorpusClass::Failed => {
                 assert!(!v.detail.is_empty(), "failures must carry a reason");
@@ -115,4 +131,67 @@ fn seeded_corpus_run_classifies_consistently_and_reproduces() {
     // every verdict, bit for bit (PartialEq covers the f64 fields).
     let again = Corpus::run(&config, &seeds);
     assert_eq!(verdicts, again);
+}
+
+/// Trust-region-era descent invariant, swept across corpus seeds: every
+/// accepted enforcement iteration either decreases `σ_max` or had its
+/// backtracking bottom out at the minimum step (1/16) — growth at larger
+/// steps would mean the line search accepted a worsening move, which it
+/// never does. Converged enforcements additionally show strict net descent.
+#[test]
+fn enforcement_iterations_descend_or_bottom_out_across_corpus_seeds() {
+    let config = pim_bench::corpus_smoke_config();
+    for seed in (0..64).step_by(8) {
+        let case = Corpus::case(&config, seed).expect("generator");
+        let (_pdn, data, network, observation_port) = case.assemble().expect("assemble");
+        let mut trace = TraceObserver::new();
+        let mut pipeline =
+            Pipeline::from_data(&data, &network, observation_port, case.flow.clone())
+                .unwrap()
+                .with_observer(&mut trace);
+        // Failures are fine here (some seeds legitimately diverge): the
+        // invariant is on the recorded iterations either way.
+        let converged = pipeline.report().is_ok();
+        drop(pipeline);
+        for (kind, ev) in &trace.iterations {
+            assert!(
+                ev.sigma_after < ev.sigma_before || ev.step <= 1.0 / 16.0 + 1e-12,
+                "seed {seed} {kind} iteration {}: sigma grew {} -> {} at step {}",
+                ev.iteration,
+                ev.sigma_before,
+                ev.sigma_after,
+                ev.step
+            );
+        }
+        if converged && !trace.iterations.is_empty() {
+            let first = trace.iterations.first().unwrap().1.sigma_before;
+            let last = trace.iterations.last().unwrap().1.sigma_after;
+            assert!(
+                last < first,
+                "seed {seed}: converged enforcement must show net descent ({first} -> {last})"
+            );
+        }
+    }
+}
+
+/// The full recovery ladder is bit-identical across thread counts: the
+/// dense-decap regime (primary divergence + ladder delivery) classifies to
+/// the same verdict — every f64 field included — on 1 and 4 threads.
+/// Release-only for the same reason as the replay above.
+#[test]
+#[ignore = "order-22 6-port board: slow in debug, run by the CI release test step"]
+fn recovery_ladder_is_bit_identical_across_thread_counts() {
+    let config = pim_bench::corpus_smoke_config();
+    // Smoke-config boards plus the canonical dense-decap regime: the former
+    // exercise the happy path cheaply, the latter walks the full ladder.
+    let seeds: Vec<u64> = (0..4).collect();
+    let serial = Corpus::run_with(&ThreadPool::new(1), &config, &seeds);
+    let parallel = Corpus::run_with(&ThreadPool::new(4), &config, &seeds);
+    assert_eq!(serial, parallel, "corpus verdicts drifted across thread counts");
+
+    let case = dense_decap_divergence_case();
+    let a = case.classify();
+    let b = case.classify();
+    assert_eq!(a, b, "dense-decap classification must be deterministic");
+    assert!(a.rung.is_some_and(|r| r > RecoveryRung::Primary));
 }
