@@ -1,0 +1,128 @@
+//! The `unwrap-ratchet` baseline: a committed per-file count of
+//! `.unwrap()`/`.expect("")` occurrences in library code that CI gates
+//! *may shrink, never grow* — the same shape as the corpus
+//! `known_adverse.txt` shrinkage gate.
+//!
+//! Workflow: reduce unwraps in a file, run
+//! `cargo run -p pim-audit -- --write-baseline`, commit the smaller
+//! `audit_baseline.txt`. A PR that adds an unwrap to library code fails
+//! `--check` until the call is converted to proper error handling (or the
+//! addition is consciously ratified by regenerating the baseline — which
+//! shows up in review as a baseline diff).
+
+use std::collections::BTreeMap;
+
+/// File header written by [`format`] and tolerated by [`parse`].
+const HEADER: &str = "\
+# pim-audit unwrap-ratchet baseline: per-file `.unwrap()` / `.expect(\"\")` counts
+# in library code (unit-test modules excluded). CI gate: counts may shrink,
+# never grow. Regenerate after reducing counts with:
+#     cargo run -p pim-audit -- --write-baseline
+";
+
+/// Parses a baseline file into `path -> count`. Lines are
+/// `<count> <path>`; `#` comments and blank lines are skipped.
+pub fn parse(text: &str) -> Result<BTreeMap<String, usize>, String> {
+    let mut map = BTreeMap::new();
+    for (ln, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (count, path) = line
+            .split_once(' ')
+            .ok_or_else(|| format!("baseline line {}: expected `<count> <path>`", ln + 1))?;
+        let count: usize =
+            count.parse().map_err(|_| format!("baseline line {}: bad count `{count}`", ln + 1))?;
+        map.insert(path.trim().to_string(), count);
+    }
+    Ok(map)
+}
+
+/// Serializes `counts` (zero entries dropped) in the committed format.
+pub fn format(counts: &BTreeMap<String, usize>) -> String {
+    let mut out = String::from(HEADER);
+    let mut total = 0usize;
+    for (path, &count) in counts {
+        if count == 0 {
+            continue;
+        }
+        total += count;
+        out.push_str(&format!("{count} {path}\n"));
+    }
+    out.push_str(&format!("# total {total}\n"));
+    out
+}
+
+/// The ratchet comparison: `errors` are growths (fail `--check`),
+/// `stale` are entries the baseline holds above the current count (the
+/// baseline should be regenerated to lock in the improvement).
+pub struct RatchetResult {
+    /// Files whose count grew past the baseline (or new files with
+    /// unwraps) — these fail the gate.
+    pub errors: Vec<String>,
+    /// Baseline entries that are now too high (or refer to deleted
+    /// files) — informational nudge to regenerate.
+    pub stale: Vec<String>,
+}
+
+/// Compares current counts against the committed baseline.
+pub fn compare(
+    current: &BTreeMap<String, usize>,
+    baseline: &BTreeMap<String, usize>,
+) -> RatchetResult {
+    let mut errors = Vec::new();
+    let mut stale = Vec::new();
+    for (path, &count) in current {
+        let allowed = baseline.get(path).copied().unwrap_or(0);
+        if count > allowed {
+            errors.push(format!(
+                "{path}: {count} unwrap/expect(\"\") calls, baseline allows {allowed}"
+            ));
+        } else if count < allowed {
+            stale.push(format!("{path}: baseline {allowed} > current {count}"));
+        }
+    }
+    for (path, &allowed) in baseline {
+        if allowed > 0 && !current.contains_key(path) {
+            stale.push(format!("{path}: in baseline ({allowed}) but no longer scanned"));
+        }
+    }
+    RatchetResult { errors, stale }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(pairs: &[(&str, usize)]) -> BTreeMap<String, usize> {
+        pairs.iter().map(|&(p, c)| (p.to_string(), c)).collect()
+    }
+
+    #[test]
+    fn round_trip() {
+        let c = counts(&[("crates/a/src/lib.rs", 3), ("src/lib.rs", 1), ("zero.rs", 0)]);
+        let text = format(&c);
+        let parsed = parse(&text).expect("round trip parses");
+        assert_eq!(parsed, counts(&[("crates/a/src/lib.rs", 3), ("src/lib.rs", 1)]));
+        assert!(text.contains("# total 4"));
+    }
+
+    #[test]
+    fn growth_fails_shrinkage_nudges() {
+        let baseline = counts(&[("a.rs", 2), ("b.rs", 5), ("gone.rs", 1)]);
+        let current = counts(&[("a.rs", 3), ("b.rs", 4), ("new.rs", 1)]);
+        let result = compare(&current, &baseline);
+        assert_eq!(result.errors.len(), 2, "{:?}", result.errors); // a.rs grew, new.rs is new
+        assert!(result.errors.iter().any(|e| e.starts_with("a.rs")));
+        assert!(result.errors.iter().any(|e| e.starts_with("new.rs")));
+        assert_eq!(result.stale.len(), 2, "{:?}", result.stale); // b.rs shrank, gone.rs gone
+    }
+
+    #[test]
+    fn bad_lines_are_rejected() {
+        assert!(parse("nonsense line").is_err());
+        assert!(parse("x a.rs").is_err());
+        assert!(parse("# comment only\n\n3 ok.rs\n").is_ok());
+    }
+}

@@ -1,0 +1,535 @@
+//! A comment- and string-aware Rust source lexer.
+//!
+//! This is not a full Rust lexer: it produces exactly the token stream the
+//! lint engine needs — identifiers, literals, comments, and punctuation —
+//! while getting the *hard* cases right so the lints never fire inside a
+//! string or miss a violation hidden after a tricky literal:
+//!
+//! - line comments (`//`, `///`, `//!`) and **nested** block comments,
+//! - string literals with escapes, raw strings (`r"…"`, `r#"…"#`, any hash
+//!   depth), byte strings (`b"…"`, `br#"…"#`) and C strings (`c"…"`),
+//! - char literals vs. lifetimes (`'a'` vs `'a`), including escaped and
+//!   multi-byte chars,
+//! - raw identifiers (`r#type`),
+//! - numeric literals, classifying floats (`1.0`, `1.`, `1e-8`, `1f64`)
+//!   apart from integers and from method calls on integers (`1.max(2)`).
+//!
+//! Every token records its 1-based start line so diagnostics and
+//! suppression markers can be matched by line.
+
+/// The kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword, including raw identifiers (`r#type`).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (no closing quote).
+    Lifetime,
+    /// Integer literal, including any suffix (`42`, `0xff_u8`).
+    Int,
+    /// Float literal, including any suffix (`1.0`, `1.`, `1e-8`, `1f64`).
+    Float,
+    /// String literal of any flavor: `"…"`, `r#"…"#`, `b"…"`, `c"…"`.
+    Str,
+    /// Character or byte literal: `'a'`, `'\n'`, `b'x'`.
+    Char,
+    /// Line comment, text includes the leading `//`.
+    LineComment,
+    /// Block comment (possibly nested), text includes the delimiters.
+    BlockComment,
+    /// Punctuation / operator. Multi-character operators such as `==`,
+    /// `!=`, `::`, `->` are single tokens.
+    Punct,
+}
+
+/// One lexed token: kind, source text, and 1-based start line.
+#[derive(Debug, Clone, Copy)]
+pub struct Token<'a> {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// The token's exact source text.
+    pub text: &'a str,
+    /// 1-based line number of the token's first character.
+    pub line: u32,
+}
+
+impl Token<'_> {
+    /// `true` for comment tokens (line or block).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// Lexes `source` into tokens. Never panics: malformed input (unterminated
+/// strings or comments) is consumed to end-of-input as a single token.
+pub fn lex(source: &str) -> Vec<Token<'_>> {
+    Lexer { src: source, bytes: source.as_bytes(), pos: 0, line: 1, tokens: Vec::new() }.run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token<'a>>,
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_' || c >= 0x80
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Token<'a>> {
+        while self.pos < self.bytes.len() {
+            let start = self.pos;
+            let start_line = self.line;
+            let c = self.bytes[self.pos];
+            match c {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ if c.is_ascii_whitespace() => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => {
+                    self.consume_line_comment();
+                    self.push(TokenKind::LineComment, start, start_line);
+                }
+                b'/' if self.peek(1) == Some(b'*') => {
+                    self.consume_block_comment();
+                    self.push(TokenKind::BlockComment, start, start_line);
+                }
+                b'"' => {
+                    self.consume_string();
+                    self.push(TokenKind::Str, start, start_line);
+                }
+                b'\'' => self.consume_quote(start, start_line),
+                b'r' | b'b' | b'c' if self.try_prefixed_literal(start, start_line) => {}
+                _ if is_ident_start(c) => {
+                    self.consume_ident();
+                    self.push(TokenKind::Ident, start, start_line);
+                }
+                _ if c.is_ascii_digit() => {
+                    let kind = self.consume_number();
+                    self.push(kind, start, start_line);
+                }
+                _ => {
+                    self.consume_punct();
+                    self.push(TokenKind::Punct, start, start_line);
+                }
+            }
+        }
+        self.tokens
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, line: u32) {
+        self.tokens.push(Token { kind, text: &self.src[start..self.pos], line });
+    }
+
+    /// Advances one byte, keeping the line counter in sync.
+    fn bump(&mut self) {
+        if self.bytes[self.pos] == b'\n' {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn consume_line_comment(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+    }
+
+    /// Block comments nest: `/* outer /* inner */ still comment */`.
+    fn consume_block_comment(&mut self) {
+        self.pos += 2; // opening `/*`
+        let mut depth = 1usize;
+        while self.pos < self.bytes.len() && depth > 0 {
+            if self.bytes[self.pos] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.pos += 2;
+            } else if self.bytes[self.pos] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.pos += 2;
+            } else {
+                self.bump();
+            }
+        }
+    }
+
+    /// A `"…"` string with `\"` / `\\` escapes; `//` and `/*` inside are
+    /// plain text. Assumes `pos` is at the opening quote.
+    fn consume_string(&mut self) {
+        self.pos += 1;
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' if self.pos + 1 < self.bytes.len() => {
+                    self.pos += 1; // skip the escaped byte (covers \" and \\)
+                    self.bump();
+                }
+                b'"' => {
+                    self.pos += 1;
+                    return;
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// A raw string `r"…"` / `r#"…"#` with `hashes` leading `#`s: no
+    /// escapes, terminated by `"` followed by the same number of `#`s.
+    /// Assumes `pos` is at the opening quote.
+    fn consume_raw_string(&mut self, hashes: usize) {
+        self.pos += 1;
+        while self.pos < self.bytes.len() {
+            if self.bytes[self.pos] == b'"' {
+                let mut k = 0;
+                while k < hashes && self.peek(1 + k) == Some(b'#') {
+                    k += 1;
+                }
+                if k == hashes {
+                    self.pos += 1 + hashes;
+                    return;
+                }
+            }
+            self.bump();
+        }
+    }
+
+    /// Disambiguates `'` between char literals and lifetimes:
+    /// `'a'` / `'\n'` / `'é'` are chars, `'a` / `'static` / `'_` are
+    /// lifetimes. Rule: an escape or a non-identifier character after the
+    /// quote means char; an identifier is a char only when a closing quote
+    /// immediately follows it.
+    fn consume_quote(&mut self, start: usize, start_line: u32) {
+        self.pos += 1;
+        match self.bytes.get(self.pos) {
+            Some(b'\\') => {
+                // Escaped char literal: skip the escape payload up to the
+                // closing quote ('\'', '\u{1F600}', …).
+                self.pos += 1;
+                if self.pos < self.bytes.len() {
+                    self.pos += 1; // the escaped byte itself, covers \'
+                }
+                while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\'' {
+                    self.bump();
+                }
+                self.pos = (self.pos + 1).min(self.bytes.len());
+                self.push(TokenKind::Char, start, start_line);
+            }
+            Some(&c) if is_ident_start(c) => {
+                // Could be 'a' (char) or 'a / 'abc (lifetime): scan the
+                // identifier, then look for a closing quote.
+                let mut end = self.pos;
+                while end < self.bytes.len() && is_ident_continue(self.bytes[end]) {
+                    end += 1;
+                }
+                if self.bytes.get(end) == Some(&b'\'') {
+                    self.pos = end + 1;
+                    self.push(TokenKind::Char, start, start_line);
+                } else {
+                    self.pos = end;
+                    self.push(TokenKind::Lifetime, start, start_line);
+                }
+            }
+            Some(_) => {
+                // Non-identifier char literal: '+', ' ', or multi-byte like
+                // 'é' — consume to the closing quote.
+                while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\'' {
+                    self.bump();
+                }
+                self.pos = (self.pos + 1).min(self.bytes.len());
+                self.push(TokenKind::Char, start, start_line);
+            }
+            None => self.push(TokenKind::Punct, start, start_line),
+        }
+    }
+
+    /// Handles `r` / `b` / `c` prefixed literals (`r"…"`, `r#"…"#`,
+    /// `r#ident`, `b"…"`, `br#"…"#`, `b'x'`, `c"…"`, `cr"…"`). Returns
+    /// `false` when the prefix turns out to start a plain identifier, in
+    /// which case nothing was consumed.
+    fn try_prefixed_literal(&mut self, start: usize, start_line: u32) -> bool {
+        let c = self.bytes[self.pos];
+        // `br`/`cr` two-byte prefixes reduce to the raw-string case.
+        let (raw_at, quote_at) = match (c, self.peek(1)) {
+            (b'r', _) => (0usize, 0usize),
+            (b'b' | b'c', Some(b'r')) => (1, usize::MAX), // raw only
+            (b'b', Some(b'\'')) => {
+                // Byte char literal b'x'.
+                self.pos += 1;
+                let qstart = self.pos;
+                self.consume_quote(qstart, start_line);
+                // consume_quote pushed a token covering only the quote part;
+                // rewrite it to include the `b` prefix.
+                if let Some(last) = self.tokens.last_mut() {
+                    last.text = &self.src[start..self.pos];
+                }
+                return true;
+            }
+            (b'b' | b'c', Some(b'"')) => (usize::MAX, 1), // plain string
+            _ => return false,
+        };
+        if quote_at != usize::MAX && raw_at == usize::MAX {
+            // b"…" / c"…": plain string body after the prefix byte.
+            self.pos += 1;
+            self.consume_string();
+            self.push(TokenKind::Str, start, start_line);
+            return true;
+        }
+        // Possible raw string starting at `pos + raw_at` (the `r`).
+        let mut hashes = 0usize;
+        while self.peek(raw_at + 1 + hashes) == Some(b'#') {
+            hashes += 1;
+        }
+        match self.peek(raw_at + 1 + hashes) {
+            Some(b'"') => {
+                self.pos += raw_at + 1 + hashes;
+                self.consume_raw_string(hashes);
+                self.push(TokenKind::Str, start, start_line);
+                true
+            }
+            Some(ch) if raw_at == 0 && hashes == 1 && is_ident_start(ch) => {
+                // Raw identifier r#type.
+                self.pos += 2;
+                self.consume_ident();
+                self.push(TokenKind::Ident, start, start_line);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn consume_ident(&mut self) {
+        while self.pos < self.bytes.len() && is_ident_continue(self.bytes[self.pos]) {
+            self.pos += 1;
+        }
+    }
+
+    /// Numeric literal starting with a digit. Returns `Float` for `1.0`,
+    /// `1.`, `1e-8`, `1f64`; `Int` otherwise — including `1.max(2)` and
+    /// `0..n`, where the dot does not start a fractional part.
+    fn consume_number(&mut self) -> TokenKind {
+        let radix_prefix = matches!(
+            (self.bytes[self.pos], self.peek(1)),
+            (b'0', Some(b'x' | b'o' | b'b' | b'X' | b'O' | b'B'))
+        );
+        if radix_prefix {
+            self.pos += 2;
+            while self.pos < self.bytes.len()
+                && (self.bytes[self.pos].is_ascii_alphanumeric() || self.bytes[self.pos] == b'_')
+            {
+                self.pos += 1;
+            }
+            return TokenKind::Int;
+        }
+        let mut float = false;
+        self.consume_digits();
+        // Fractional part: a dot NOT followed by another dot (range) or an
+        // identifier start (method call / field access keeps it an int).
+        if self.bytes.get(self.pos) == Some(&b'.') {
+            match self.peek(1) {
+                Some(d) if d.is_ascii_digit() => {
+                    float = true;
+                    self.pos += 1;
+                    self.consume_digits();
+                }
+                Some(b'.') => {}                     // range `1..`
+                Some(ch) if is_ident_start(ch) => {} // `1.max(2)`
+                _ => {
+                    float = true; // trailing-dot float `1.`
+                    self.pos += 1;
+                }
+            }
+        }
+        // Exponent.
+        if let Some(b'e' | b'E') = self.bytes.get(self.pos).copied() {
+            let (sign, first_digit) = match self.peek(1) {
+                Some(b'+' | b'-') => (1, self.peek(2)),
+                other => (0, other),
+            };
+            if first_digit.is_some_and(|d| d.is_ascii_digit()) {
+                float = true;
+                self.pos += 1 + sign;
+                self.consume_digits();
+            }
+        }
+        // Suffix (u8, i64, f32, f64, usize, …).
+        let suffix_start = self.pos;
+        while self.pos < self.bytes.len() && is_ident_continue(self.bytes[self.pos]) {
+            self.pos += 1;
+        }
+        let suffix = &self.src[suffix_start..self.pos];
+        if suffix.starts_with("f32") || suffix.starts_with("f64") {
+            float = true;
+        }
+        if float {
+            TokenKind::Float
+        } else {
+            TokenKind::Int
+        }
+    }
+
+    fn consume_digits(&mut self) {
+        while self.pos < self.bytes.len()
+            && (self.bytes[self.pos].is_ascii_digit() || self.bytes[self.pos] == b'_')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn consume_punct(&mut self) {
+        const THREE: [&str; 4] = ["..=", "...", "<<=", ">>="];
+        const TWO: [&str; 20] = [
+            "==", "!=", "<=", ">=", "&&", "||", "::", "->", "=>", "..", "+=", "-=", "*=", "/=",
+            "%=", "^=", "&=", "|=", "<<", ">>",
+        ];
+        let rest = &self.src[self.pos..];
+        for op in THREE {
+            if rest.starts_with(op) {
+                self.pos += 3;
+                return;
+            }
+        }
+        for op in TWO {
+            if rest.starts_with(op) {
+                self.pos += 2;
+                return;
+            }
+        }
+        // Fall back to a single char (which may be multi-byte).
+        let ch_len = rest.chars().next().map_or(1, char::len_utf8);
+        self.pos += ch_len;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn comments_and_slash_inside_strings() {
+        let toks = kinds(r#"let url = "https://example.com"; // trailing"#);
+        assert_eq!(toks[3], (TokenKind::Str, "\"https://example.com\""));
+        assert_eq!(toks[5], (TokenKind::LineComment, "// trailing"));
+        // The `//` inside the string must NOT start a comment: the
+        // semicolon after the string is still a real token.
+        assert_eq!(toks[4], (TokenKind::Punct, ";"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("a /* outer /* inner */ still */ b");
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[1].0, TokenKind::BlockComment);
+        assert_eq!(toks[2], (TokenKind::Ident, "b"));
+    }
+
+    #[test]
+    fn raw_strings_any_hash_depth() {
+        let toks = kinds(r###"let s = r#"quote " and // comment"# ;"###);
+        assert_eq!(toks[3], (TokenKind::Str, r##"r#"quote " and // comment"#"##));
+        assert_eq!(toks[4], (TokenKind::Punct, ";"));
+        let toks = kinds("r\"plain raw\" == x");
+        assert_eq!(toks[0].0, TokenKind::Str);
+        assert_eq!(toks[1], (TokenKind::Punct, "=="));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; let u = '\\''; }");
+        let lifetimes: Vec<_> =
+            toks.iter().filter(|t| t.0 == TokenKind::Lifetime).map(|t| t.1).collect();
+        assert_eq!(lifetimes, vec!["'a", "'a"]);
+        let chars: Vec<_> = toks.iter().filter(|t| t.0 == TokenKind::Char).map(|t| t.1).collect();
+        assert_eq!(chars, vec!["'x'", "'\\n'", "'\\''"]);
+    }
+
+    #[test]
+    fn static_lifetime_and_underscore() {
+        let toks = kinds("&'static str; &'_ T");
+        assert_eq!(toks[1], (TokenKind::Lifetime, "'static"));
+        assert!(toks.contains(&(TokenKind::Lifetime, "'_")));
+    }
+
+    #[test]
+    fn byte_and_c_strings_and_byte_chars() {
+        let toks = kinds(r##"b"bytes" br#"raw"# c"cstr" b'x'"##);
+        assert_eq!(toks[0], (TokenKind::Str, "b\"bytes\""));
+        assert_eq!(toks[1], (TokenKind::Str, "br#\"raw\"#"));
+        assert_eq!(toks[2], (TokenKind::Str, "c\"cstr\""));
+        assert_eq!(toks[3], (TokenKind::Char, "b'x'"));
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let toks = kinds("let r#type = 1;");
+        assert_eq!(toks[1], (TokenKind::Ident, "r#type"));
+    }
+
+    #[test]
+    fn float_classification() {
+        for (src, kind) in [
+            ("1.0", TokenKind::Float),
+            ("1.", TokenKind::Float),
+            ("1e-8", TokenKind::Float),
+            ("1E5", TokenKind::Float),
+            ("2.5e+3", TokenKind::Float),
+            ("1f64", TokenKind::Float),
+            ("3_f32", TokenKind::Float),
+            ("1_000.25", TokenKind::Float),
+            ("42", TokenKind::Int),
+            ("0xff", TokenKind::Int),
+            ("0b1010", TokenKind::Int),
+            ("1usize", TokenKind::Int),
+        ] {
+            assert_eq!(kinds(src)[0].0, kind, "{src}");
+        }
+        // `1.max(2)` is a method call on an integer, `0..n` a range.
+        let toks = kinds("1.max(2)");
+        assert_eq!(toks[0], (TokenKind::Int, "1"));
+        assert_eq!(toks[1], (TokenKind::Punct, "."));
+        let toks = kinds("0..n");
+        assert_eq!(toks[0], (TokenKind::Int, "0"));
+        assert_eq!(toks[1], (TokenKind::Punct, ".."));
+    }
+
+    #[test]
+    fn multi_char_operators_are_single_tokens() {
+        let toks = kinds("a == b != c :: d -> e => f ..= g");
+        let puncts: Vec<_> = toks.iter().filter(|t| t.0 == TokenKind::Punct).map(|t| t.1).collect();
+        assert_eq!(puncts, vec!["==", "!=", "::", "->", "=>", "..="]);
+    }
+
+    #[test]
+    fn line_numbers_track_all_token_kinds() {
+        let src = "a\n\"two\nlines\"\nb /* c\nd */ e";
+        let toks = lex(src);
+        let find = |text: &str| toks.iter().find(|t| t.text.contains(text)).map(|t| t.line);
+        assert_eq!(find("a"), Some(1));
+        assert_eq!(find("two"), Some(2)); // string opens on line 2
+        assert_eq!(find("b"), Some(4));
+        assert_eq!(find("d */"), Some(4)); // block comment opens on line 4
+        let last = toks.last().expect("tokens");
+        assert_eq!((last.text, last.line), ("e", 5)); // …and spans to line 5
+    }
+
+    #[test]
+    fn unterminated_input_does_not_panic() {
+        lex("\"unterminated");
+        lex("/* unterminated");
+        lex("'");
+        lex("r#\"unterminated");
+        lex("1.");
+    }
+}

@@ -1,0 +1,430 @@
+//! The lint engine: project-invariant checks over the token stream of one
+//! source file, with inline `// audit:allow(<lint>): <reason>` suppressions.
+//!
+//! Lint catalog (deny-by-default unless noted):
+//!
+//! | name            | invariant |
+//! |-----------------|-----------|
+//! | `unsafe-safety` | every `unsafe` carries a `// SAFETY:` justification |
+//! | `float-eq`      | no float `==`/`!=` (use `to_bits()`; annotate exact-zero fast paths) |
+//! | `hash-container`| no `HashMap`/`HashSet` (nondeterministic iteration order) |
+//! | `wall-clock`    | no `Instant`/`SystemTime`/OS randomness outside the bench layer |
+//! | `thread-spawn`  | no `std::thread` spawning outside `pim-runtime` |
+//! | `unwrap-ratchet`| `.unwrap()`/`.expect("")` in library code: counted, ratcheted |
+//!
+//! `unwrap-ratchet` is report-only: it produces a per-file count that the
+//! baseline gate (see [`crate::baseline`]) compares against the committed
+//! `audit_baseline.txt` — the count may shrink, never grow.
+//!
+//! A suppression marker is a comment of the form
+//! `// audit:allow(<lint>): <reason>` placed on the offending line or on
+//! the line directly above it. The reason is mandatory — every exception
+//! is self-documenting — and markers that match no diagnostic are reported
+//! (and fail `--check`) so stale exceptions cannot linger.
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// The deny-by-default lints. `unwrap-ratchet` is not listed here: it
+/// emits a count, not diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lint {
+    /// L1: `unsafe` blocks/impls/fns must carry a `// SAFETY:` comment.
+    UnsafeSafety,
+    /// L2: no `==`/`!=` with a float operand, and no bare float literal as
+    /// a direct `assert_eq!`/`assert_ne!` operand.
+    FloatEq,
+    /// L3: no `HashMap`/`HashSet` — iteration order is nondeterministic.
+    HashContainer,
+    /// L4: no wall-clock or OS-randomness source outside the bench layer.
+    WallClock,
+    /// L5: no `std::thread` spawning outside `pim-runtime`.
+    ThreadSpawn,
+}
+
+impl Lint {
+    /// All deny-by-default lints.
+    pub const ALL: [Lint; 5] = [
+        Lint::UnsafeSafety,
+        Lint::FloatEq,
+        Lint::HashContainer,
+        Lint::WallClock,
+        Lint::ThreadSpawn,
+    ];
+
+    /// The stable name used in diagnostics and `audit:allow(...)` markers.
+    pub fn name(self) -> &'static str {
+        match self {
+            Lint::UnsafeSafety => "unsafe-safety",
+            Lint::FloatEq => "float-eq",
+            Lint::HashContainer => "hash-container",
+            Lint::WallClock => "wall-clock",
+            Lint::ThreadSpawn => "thread-spawn",
+        }
+    }
+
+    /// Reverse of [`Lint::name`].
+    pub fn from_name(name: &str) -> Option<Lint> {
+        Lint::ALL.into_iter().find(|l| l.name() == name)
+    }
+
+    /// Whether this lint applies to the file at workspace-relative `path`.
+    /// The bench layer owns the timers; `pim-runtime` owns the threads.
+    pub fn applies_to(self, path: &str) -> bool {
+        match self {
+            Lint::WallClock => {
+                !path.starts_with("crates/bench/") && !path.starts_with("crates/criterion-shim/")
+            }
+            Lint::ThreadSpawn => !path.starts_with("crates/runtime/"),
+            _ => true,
+        }
+    }
+}
+
+/// One lint violation.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Lint name (or `audit-marker` for malformed suppressions).
+    pub lint: &'static str,
+    /// 1-based source line.
+    pub line: u32,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+/// The audit result for one file.
+#[derive(Debug, Default)]
+pub struct FileAudit {
+    /// Violations that survived suppression, sorted by line.
+    pub diagnostics: Vec<Diagnostic>,
+    /// `unwrap-ratchet` count (`.unwrap()` + `.expect("")` outside
+    /// `#[cfg(test)]` modules). `None` when the file is outside the
+    /// ratchet scope.
+    pub unwrap_count: Option<usize>,
+    /// `audit:allow` markers that matched no diagnostic: `(line, lint)`.
+    pub unused_allows: Vec<(u32, String)>,
+}
+
+struct Marker {
+    line: u32,
+    lint: Lint,
+    used: bool,
+}
+
+/// Runs every applicable lint over `source`. `path` is workspace-relative
+/// with `/` separators and selects lint scopes; `count_unwraps` enables
+/// the `unwrap-ratchet` count (library-crate sources only).
+pub fn audit_file(path: &str, source: &str, count_unwraps: bool) -> FileAudit {
+    let tokens = lex(source);
+    // Indices of non-comment tokens; the lints walk these, while L1 and the
+    // suppression markers also need the comments.
+    let code: Vec<usize> = (0..tokens.len()).filter(|&i| !tokens[i].is_comment()).collect();
+
+    let mut diagnostics = Vec::new();
+    let mut markers = collect_markers(&tokens, &mut diagnostics);
+
+    for lint in Lint::ALL {
+        if !lint.applies_to(path) {
+            continue;
+        }
+        match lint {
+            Lint::UnsafeSafety => lint_unsafe_safety(&tokens, &code, &mut diagnostics),
+            Lint::FloatEq => lint_float_eq(&tokens, &code, &mut diagnostics),
+            Lint::HashContainer => lint_hash_container(&tokens, &code, &mut diagnostics),
+            Lint::WallClock => lint_wall_clock(&tokens, &code, &mut diagnostics),
+            Lint::ThreadSpawn => lint_thread_spawn(&tokens, &code, &mut diagnostics),
+        }
+    }
+
+    // Apply suppressions: a marker covers its own line and the next line.
+    diagnostics.retain(|d| {
+        if d.lint == "audit-marker" {
+            return true;
+        }
+        let matching = markers
+            .iter_mut()
+            .find(|m| m.lint.name() == d.lint && (m.line == d.line || m.line + 1 == d.line));
+        match matching {
+            Some(m) => {
+                m.used = true;
+                false
+            }
+            None => true,
+        }
+    });
+    diagnostics.sort_by_key(|d| d.line);
+
+    let unused_allows = markers
+        .into_iter()
+        .filter(|m| !m.used)
+        .map(|m| (m.line, m.lint.name().to_string()))
+        .collect();
+
+    let unwrap_count = count_unwraps.then(|| count_unwrap_expect(&tokens, &code));
+    FileAudit { diagnostics, unwrap_count, unused_allows }
+}
+
+/// Parses `audit:allow(<lint>): <reason>` markers out of the comments.
+/// Malformed markers (unknown lint, missing reason) become diagnostics.
+/// Doc comments are documentation, not suppressions — text *describing*
+/// the marker syntax (this crate's own rustdoc) is not a marker.
+fn collect_markers(tokens: &[Token<'_>], diagnostics: &mut Vec<Diagnostic>) -> Vec<Marker> {
+    let mut markers = Vec::new();
+    for tok in tokens.iter().filter(|t| t.is_comment()) {
+        let doc = tok.text.starts_with("///")
+            || tok.text.starts_with("//!")
+            || tok.text.starts_with("/**")
+            || tok.text.starts_with("/*!");
+        if doc {
+            continue;
+        }
+        let Some(at) = tok.text.find("audit:allow") else { continue };
+        let rest = &tok.text[at + "audit:allow".len()..];
+        let parsed = rest.strip_prefix('(').and_then(|r| {
+            let (name, after) = r.split_once(')')?;
+            let reason = after.strip_prefix(':')?.trim();
+            Some((Lint::from_name(name.trim()), reason))
+        });
+        match parsed {
+            Some((Some(lint), reason)) if !reason.is_empty() => {
+                markers.push(Marker { line: tok.line, lint, used: false });
+            }
+            Some((None, _)) => diagnostics.push(Diagnostic {
+                lint: "audit-marker",
+                line: tok.line,
+                message: "audit:allow names an unknown lint".into(),
+            }),
+            _ => diagnostics.push(Diagnostic {
+                lint: "audit-marker",
+                line: tok.line,
+                message: "malformed audit:allow marker — expected \
+                          `audit:allow(<lint>): <reason>` with a non-empty reason"
+                    .into(),
+            }),
+        }
+    }
+    markers
+}
+
+/// L1: every `unsafe` keyword needs a `// SAFETY:` comment either trailing
+/// on the same line or attached above it — "attached" meaning the walk
+/// backwards from the keyword meets the comment before any `;`, `{` or `}`
+/// (i.e. within the same statement/item header).
+fn lint_unsafe_safety(tokens: &[Token<'_>], code: &[usize], diagnostics: &mut Vec<Diagnostic>) {
+    for &i in code {
+        let tok = &tokens[i];
+        if tok.kind != TokenKind::Ident || tok.text != "unsafe" {
+            continue;
+        }
+        let same_line = tokens
+            .iter()
+            .any(|t| t.is_comment() && t.line == tok.line && t.text.contains("SAFETY:"));
+        let attached_above = tokens[..i].iter().rev().find_map(|t| {
+            if t.is_comment() {
+                t.text.contains("SAFETY:").then_some(true)
+            } else if t.kind == TokenKind::Punct && matches!(t.text, ";" | "{" | "}") {
+                Some(false) // left the current statement: stop searching
+            } else {
+                None
+            }
+        });
+        if !same_line && attached_above != Some(true) {
+            diagnostics.push(Diagnostic {
+                lint: Lint::UnsafeSafety.name(),
+                line: tok.line,
+                message: "`unsafe` without an attached `// SAFETY:` justification".into(),
+            });
+        }
+    }
+}
+
+/// L2: `==`/`!=` with a float-literal operand, or a bare float literal as
+/// a direct operand of `assert_eq!`/`assert_ne!`. (Float-typed variables
+/// compared to each other are invisible to a lexer — that residual risk is
+/// documented, not pretended away.)
+fn lint_float_eq(tokens: &[Token<'_>], code: &[usize], diagnostics: &mut Vec<Diagnostic>) {
+    let at = |k: usize| code.get(k).map(|&i| &tokens[i]);
+    for k in 0..code.len() {
+        let tok = &tokens[code[k]];
+        // Operator form: `x == 1.0`, `0.0 != y`, `x == -1.0`.
+        if tok.kind == TokenKind::Punct && (tok.text == "==" || tok.text == "!=") {
+            // A float literal with a method call on it (`1.5f64.to_bits()`)
+            // is not a float operand — that is the blessed idiom itself.
+            let bare_float = |k: usize| {
+                at(k).is_some_and(|t| t.kind == TokenKind::Float)
+                    && !at(k + 1).is_some_and(|t| t.kind == TokenKind::Punct && t.text == ".")
+            };
+            let prev_float = k > 0 && bare_float(k - 1);
+            let next_float = bare_float(k + 1)
+                || (at(k + 1).is_some_and(|t| t.kind == TokenKind::Punct && t.text == "-")
+                    && bare_float(k + 2));
+            if prev_float || next_float {
+                diagnostics.push(Diagnostic {
+                    lint: Lint::FloatEq.name(),
+                    line: tok.line,
+                    message: format!(
+                        "float `{}` comparison — compare via to_bits() or annotate an \
+                         exact-zero fast path",
+                        tok.text
+                    ),
+                });
+            }
+        }
+        // Macro form: assert_eq!(x, 1.0). Only floats at paren depth 1 are
+        // direct operands; nested calls like assert_eq!(y, f(1.0)) are not.
+        if tok.kind == TokenKind::Ident
+            && (tok.text == "assert_eq" || tok.text == "assert_ne")
+            && at(k + 1).is_some_and(|t| t.text == "!")
+            && at(k + 2).is_some_and(|t| t.text == "(")
+        {
+            let mut depth = 1i32;
+            let mut j = k + 3;
+            while depth > 0 {
+                let Some(t) = at(j) else { break };
+                match (t.kind, t.text) {
+                    (TokenKind::Punct, "(" | "[" | "{") => depth += 1,
+                    (TokenKind::Punct, ")" | "]" | "}") => depth -= 1,
+                    (TokenKind::Float, _)
+                        if depth == 1
+                            && !at(j + 1)
+                                .is_some_and(|t| t.kind == TokenKind::Punct && t.text == ".") =>
+                    {
+                        diagnostics.push(Diagnostic {
+                            lint: Lint::FloatEq.name(),
+                            line: t.line,
+                            message: format!(
+                                "float literal compared exactly by {}! — compare via to_bits()",
+                                tok.text
+                            ),
+                        });
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+    }
+}
+
+/// L3: `HashMap`/`HashSet` anywhere — iteration order varies run to run
+/// (and with the hasher seed), which can leak into numeric results.
+fn lint_hash_container(tokens: &[Token<'_>], code: &[usize], diagnostics: &mut Vec<Diagnostic>) {
+    for &i in code {
+        let tok = &tokens[i];
+        if tok.kind == TokenKind::Ident && matches!(tok.text, "HashMap" | "HashSet") {
+            diagnostics.push(Diagnostic {
+                lint: Lint::HashContainer.name(),
+                line: tok.line,
+                message: format!(
+                    "`{}` has nondeterministic iteration order — use BTreeMap/BTreeSet \
+                     or sorted access",
+                    tok.text
+                ),
+            });
+        }
+    }
+}
+
+/// L4: wall-clock reads and OS randomness outside the bench layer — both
+/// poison reproducibility.
+fn lint_wall_clock(tokens: &[Token<'_>], code: &[usize], diagnostics: &mut Vec<Diagnostic>) {
+    for &i in code {
+        let tok = &tokens[i];
+        if tok.kind != TokenKind::Ident {
+            continue;
+        }
+        let what = match tok.text {
+            "Instant" | "SystemTime" => "wall-clock source",
+            "RandomState" | "thread_rng" | "from_entropy" | "OsRng" | "getrandom" => {
+                "OS randomness"
+            }
+            _ => continue,
+        };
+        diagnostics.push(Diagnostic {
+            lint: Lint::WallClock.name(),
+            line: tok.line,
+            message: format!(
+                "`{}` is a {what} — only pim-bench/criterion-shim may use it",
+                tok.text
+            ),
+        });
+    }
+}
+
+/// L5: `thread::spawn` / `thread::Builder` outside `pim-runtime` — all
+/// parallelism must go through the deterministic pool.
+fn lint_thread_spawn(tokens: &[Token<'_>], code: &[usize], diagnostics: &mut Vec<Diagnostic>) {
+    for w in code.windows(3) {
+        let (a, b, c) = (&tokens[w[0]], &tokens[w[1]], &tokens[w[2]]);
+        if a.kind == TokenKind::Ident
+            && a.text == "thread"
+            && b.text == "::"
+            && c.kind == TokenKind::Ident
+            && matches!(c.text, "spawn" | "Builder")
+        {
+            diagnostics.push(Diagnostic {
+                lint: Lint::ThreadSpawn.name(),
+                line: c.line,
+                message: format!(
+                    "`thread::{}` outside pim-runtime — use the deterministic thread pool",
+                    c.text
+                ),
+            });
+        }
+    }
+}
+
+/// L6 count: `.unwrap()` and `.expect("")` occurrences outside
+/// `#[cfg(test)]` modules.
+fn count_unwrap_expect(tokens: &[Token<'_>], code: &[usize]) -> usize {
+    let excluded = cfg_test_ranges(tokens, code);
+    let mut count = 0usize;
+    for (k, &i) in code.iter().enumerate() {
+        if excluded.iter().any(|r| r.contains(&i)) {
+            continue;
+        }
+        let tok = &tokens[i];
+        if !(tok.kind == TokenKind::Punct && tok.text == ".") {
+            continue;
+        }
+        let at = |n: usize| code.get(k + n).map(|&j| &tokens[j]);
+        let is_unwrap = at(1).is_some_and(|t| t.text == "unwrap")
+            && at(2).is_some_and(|t| t.text == "(")
+            && at(3).is_some_and(|t| t.text == ")");
+        let is_empty_expect = at(1).is_some_and(|t| t.text == "expect")
+            && at(2).is_some_and(|t| t.text == "(")
+            && at(3).is_some_and(|t| t.kind == TokenKind::Str && t.text == "\"\"")
+            && at(4).is_some_and(|t| t.text == ")");
+        if is_unwrap || is_empty_expect {
+            count += 1;
+        }
+    }
+    count
+}
+
+/// Token-index ranges covered by `#[cfg(test)] mod <name> { … }` — unit
+/// tests do not count against the unwrap ratchet.
+fn cfg_test_ranges(tokens: &[Token<'_>], code: &[usize]) -> Vec<std::ops::Range<usize>> {
+    let mut ranges = Vec::new();
+    let texts: Vec<&str> = code.iter().map(|&i| tokens[i].text).collect();
+    for k in 0..code.len() {
+        if texts[k..].starts_with(&["#", "[", "cfg", "(", "test", ")", "]"]) {
+            // Expect `mod <name> {` next (possibly after more attributes —
+            // not present in this workspace, so keep it simple).
+            let m = k + 7;
+            if texts.get(m) == Some(&"mod") && texts.get(m + 2) == Some(&"{") {
+                let mut depth = 1usize;
+                let mut j = m + 3;
+                while j < code.len() && depth > 0 {
+                    match texts[j] {
+                        "{" => depth += 1,
+                        "}" => depth -= 1,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                ranges.push(code[k]..code[j.min(code.len() - 1)] + 1);
+            }
+        }
+    }
+    ranges
+}

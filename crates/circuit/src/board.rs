@@ -161,11 +161,11 @@ pub fn build_board(spec: &PdnBoardSpec) -> Result<SyntheticPdn> {
 
     // Port connections through via parasitics. Die ports additionally climb
     // the package+die stack: plane → stage 1 → … → stage n → via → pad.
-    let mut seen = std::collections::HashSet::new();
+    let mut seen = std::collections::BTreeSet::new();
     let connect_ports = |circuit: &mut Circuit,
                          coords: &[(usize, usize)],
                          stack: &[StackStage],
-                         seen: &mut std::collections::HashSet<(usize, usize)>|
+                         seen: &mut std::collections::BTreeSet<(usize, usize)>|
      -> Result<Vec<usize>> {
         let mut indices = Vec::with_capacity(coords.len());
         for &(ix, iy) in coords {

@@ -467,7 +467,7 @@ mod tests {
         for seed in 0..64 {
             let board = generator.generate(seed).unwrap();
             let spec = &board.spec;
-            let mut seen = std::collections::HashSet::new();
+            let mut seen = std::collections::BTreeSet::new();
             for &(ix, iy) in spec.die_ports.iter().chain(&spec.decap_ports).chain(&spec.vrm_ports) {
                 assert!(ix < spec.nx && iy < spec.ny, "seed {seed}: ({ix},{iy}) out of grid");
                 assert!(seen.insert((ix, iy)), "seed {seed}: duplicate port ({ix},{iy})");

@@ -732,7 +732,7 @@ impl MinimizedFixture {
     ///
     /// Returns [`CoreError::InvalidInput`] on malformed or incomplete input.
     pub fn parse(text: &str) -> Result<Self> {
-        let mut fields = std::collections::HashMap::new();
+        let mut fields = std::collections::BTreeMap::new();
         for line in text.lines() {
             let line = line.trim();
             if line.is_empty() || line.starts_with('#') {

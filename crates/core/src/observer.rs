@@ -19,7 +19,10 @@ use pim_passivity::{NormKind, NotConvergedDiagnostics};
 use std::fmt;
 
 /// One stage of the macromodeling pipeline, as reported to observers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// The derived order is declaration order; it exists so stages can key
+/// deterministic ordered containers, not to imply an execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Stage {
     /// Nominal target impedance, sensitivity samples and fitting weights.
     Sensitivity,

@@ -50,7 +50,7 @@ use pim_vectfit::{
 };
 
 /// Which least-squares metric a fitting stage minimizes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum FitKind {
     /// Plain (unweighted) Vector Fitting — the conventional baseline.
     Standard,

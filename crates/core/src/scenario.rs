@@ -321,7 +321,7 @@ mod tests {
         assert_eq!(sc.data.ports(), sc.pdn.ports());
         assert_eq!(sc.network.ports(), sc.data.ports());
         assert_eq!(sc.data.len(), sc.config.frequency_samples + 1); // + DC
-        assert_eq!(sc.data.grid().freqs_hz()[0], 0.0);
+        assert_eq!((sc.data.grid().freqs_hz()[0]).to_bits(), 0.0f64.to_bits());
         assert!(sc.pdn.die_ports.contains(&sc.observation_port));
     }
 
@@ -344,7 +344,7 @@ mod tests {
 
     #[test]
     fn presets_build_and_keep_distinct_names() {
-        let mut names = std::collections::HashSet::new();
+        let mut names = std::collections::BTreeSet::new();
         for preset in ScenarioPreset::ALL {
             assert!(names.insert(preset.name()), "duplicate preset name {}", preset.name());
         }

@@ -246,7 +246,10 @@ mod tests {
         }
         // One Gramian per matrix element, all identical (common poles).
         assert_eq!(norm1.gramians().len(), 4);
-        assert!(norm1.gramians()[0].max_abs_diff(&norm1.gramians()[3]) == 0.0);
+        assert_eq!(
+            norm1.gramians()[0].max_abs_diff(&norm1.gramians()[3]).to_bits(),
+            0.0f64.to_bits()
+        );
     }
 
     #[test]
@@ -288,7 +291,7 @@ mod tests {
         assert_eq!(built.ports(), direct.ports());
         assert_eq!(built.states(), direct.states());
         for (a, b) in built.gramians().iter().zip(direct.gramians()) {
-            assert_eq!(a.max_abs_diff(b), 0.0);
+            assert_eq!((a.max_abs_diff(b)).to_bits(), 0.0f64.to_bits());
         }
     }
 
@@ -338,10 +341,10 @@ mod tests {
         // The builder matches the free function and labels itself.
         let builder = BlendedNorm::new(weight, 0.5);
         assert_eq!(builder.kind(), NormKind::Blended);
-        assert_eq!(builder.alpha(), 0.5);
+        assert_eq!((builder.alpha()).to_bits(), 0.5f64.to_bits());
         let built = builder.build(&model).unwrap();
         for (a, b) in built.gramians().iter().zip(mid.gramians()) {
-            assert_eq!(a.max_abs_diff(b), 0.0);
+            assert_eq!((a.max_abs_diff(b)).to_bits(), 0.0f64.to_bits());
         }
     }
 

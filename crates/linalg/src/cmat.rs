@@ -575,7 +575,7 @@ mod tests {
         assert_eq!(empty.shape(), (2, 0));
         let zero_k = CMat::zeros(2, 0).matmul(&CMat::zeros(0, 3)).unwrap();
         assert_eq!(zero_k.shape(), (2, 3));
-        assert_eq!(zero_k.max_abs(), 0.0);
+        assert_eq!((zero_k.max_abs()).to_bits(), 0.0f64.to_bits());
     }
 
     #[test]

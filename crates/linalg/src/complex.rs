@@ -94,6 +94,7 @@ impl Complex64 {
 
     /// Principal square root.
     pub fn sqrt(self) -> Self {
+        // audit:allow(float-eq): exact-zero fast path; sqrt(0) must return bitwise zero
         if self.re == 0.0 && self.im == 0.0 {
             return Complex64::ZERO;
         }

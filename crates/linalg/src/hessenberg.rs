@@ -20,9 +20,11 @@ impl Givens {
     pub fn compute(x: Complex64, y: Complex64) -> Givens {
         let xa = x.abs();
         let ya = y.abs();
+        // audit:allow(float-eq): exact-zero rotation component selects the trivial rotation
         if ya == 0.0 {
             return Givens { c: 1.0, s: Complex64::ZERO };
         }
+        // audit:allow(float-eq): exact-zero rotation component selects the axis-aligned rotation
         if xa == 0.0 {
             return Givens { c: 0.0, s: y.conj().scale(1.0 / ya) };
         }
@@ -134,11 +136,13 @@ pub fn hessenberg_real_h_only(a: &Mat) -> Result<Mat> {
     for k in 0..(n - 2) {
         for i in ((k + 2)..n).rev() {
             let y = h[(i, k)];
+            // audit:allow(float-eq): exact-zero entry needs no rotation; mirrors Givens::compute
             if y == 0.0 {
                 continue;
             }
             let x = h[(i - 1, k)];
             // Rotation parameters mirroring Givens::compute on real input.
+            // audit:allow(float-eq): exact-zero pivot selects the swap rotation, as in Givens::compute
             let (c, s) = if x == 0.0 {
                 (0.0, y * (1.0 / y.abs()))
             } else {
@@ -183,6 +187,7 @@ fn reduce(a: &CMat, mut q: Option<&mut CMat>) -> Result<CMat> {
     }
     for k in 0..(n - 2) {
         for i in ((k + 2)..n).rev() {
+            // audit:allow(float-eq): only a bitwise-zero subdiagonal entry may be skipped without fill-in
             if h[(i, k)].abs() == 0.0 {
                 continue;
             }
@@ -236,7 +241,7 @@ mod tests {
         assert!((g.c * g.c + g.s.abs_sq() - 1.0).abs() < 1e-14);
         // Degenerate cases
         let g0 = Givens::compute(x, Complex64::ZERO);
-        assert_eq!(g0.c, 1.0);
+        assert_eq!((g0.c).to_bits(), 1.0f64.to_bits());
         let g1 = Givens::compute(Complex64::ZERO, y);
         assert!((g1.c).abs() < 1e-15);
     }
@@ -273,8 +278,16 @@ mod tests {
             let a = Mat::from_fn(n, n, |_, _| next());
             let h_real = hessenberg_real_h_only(&a).unwrap();
             let h_cplx = hessenberg_h_only(&a.to_complex()).unwrap();
-            assert!(h_cplx.imag().max_abs() == 0.0, "imaginary drift for n={n}");
-            assert!(h_real.max_abs_diff(&h_cplx.real()) == 0.0, "real drift for n={n}");
+            assert_eq!(
+                h_cplx.imag().max_abs().to_bits(),
+                0.0f64.to_bits(),
+                "imaginary drift for n={n}"
+            );
+            assert_eq!(
+                h_real.max_abs_diff(&h_cplx.real()).to_bits(),
+                0.0f64.to_bits(),
+                "real drift for n={n}"
+            );
         }
         assert!(hessenberg_real_h_only(&Mat::zeros(2, 3)).is_err());
     }
@@ -285,7 +298,7 @@ mod tests {
             let a = random_like(n, 9 + n as u64);
             let full = hessenberg(&a).unwrap();
             let h = hessenberg_h_only(&a).unwrap();
-            assert!(h.max_abs_diff(&full.h) == 0.0, "H drift for n={n}");
+            assert_eq!(h.max_abs_diff(&full.h).to_bits(), 0.0f64.to_bits(), "H drift for n={n}");
         }
     }
 

@@ -54,6 +54,7 @@ pub fn solve_sylvester_complex(a: &CMat, b: &CMat, c: &CMat) -> Result<CMat> {
         }
         for j in 0..k {
             let t_jk = tb[(j, k)];
+            // audit:allow(float-eq): exact-zero coefficient skips a no-op accumulation
             if t_jk.abs() == 0.0 {
                 continue;
             }

@@ -34,7 +34,17 @@ const KC: usize = 64;
 /// Raw pointer into an output buffer, shared across panel tasks. Safety rests
 /// on the panel decomposition: every task writes a disjoint set of columns.
 struct PanelPtr(*mut f64);
+// SAFETY: a raw `*mut f64` is only non-Send/non-Sync as a lint against
+// unsynchronized sharing; `PanelPtr` is constructed exclusively inside
+// `Mat::par_matmul_into` from `out.data.as_mut_ptr()`, which stays
+// exclusively borrowed for the whole pool scope. The tasks sharing it write
+// through disjoint column ranges `[j0, j1)` (see the panel proof at the
+// `from_raw_parts_mut` below), never read each other's panels, and the
+// scope joins every task before `out` is reborrowed — so cross-thread moves
+// (Send) and shared references (Sync) cannot introduce a data race.
 unsafe impl Send for PanelPtr {}
+// SAFETY: see the Send impl directly above — `&PanelPtr` only ever hands
+// tasks a pointer they offset into non-overlapping column panels.
 unsafe impl Sync for PanelPtr {}
 
 impl Mat {
@@ -253,6 +263,7 @@ impl Mat {
                 self.data.chunks_exact(self.cols).zip(out.data.chunks_exact_mut(n))
             {
                 for (k, &aik) in a_row[kb..k_end].iter().enumerate() {
+                    // audit:allow(float-eq): exact-zero multiplier skips a no-op AXPY; preserves bit-identical sums
                     if aik == 0.0 {
                         continue;
                     }
@@ -323,14 +334,27 @@ impl Mat {
                     for kb in (0..k_dim).step_by(KC) {
                         let k_end = (kb + KC).min(k_dim);
                         for (i, a_row) in self.data.chunks_exact(self.cols).enumerate() {
-                            // SAFETY: the slice covers `out` row `i`, columns
-                            // `[j0, j1)` — rows are `n` entries apart, and no
-                            // other task's panel overlaps these columns, so
-                            // the mutable views are disjoint.
+                            // SAFETY: disjointness + in-bounds proof.
+                            // `out` is row-major `rows × n`, so row `i` spans
+                            // `data[i*n .. (i+1)*n]`; this slice is its
+                            // sub-range `[i*n + j0, i*n + j1)` with
+                            // `width = j1 - j0 ≤ n - j0`, hence in bounds of
+                            // the allocation `base` points to. Panel `p`
+                            // owns columns `[p*panel_w, min((p+1)*panel_w, n))`:
+                            // the half-open intervals for distinct `p` are
+                            // pairwise disjoint, so for any two tasks and any
+                            // rows `i`, `i'`, the index sets
+                            // `{i*n + j0 .. i*n + j1}` never intersect across
+                            // tasks. The mutable slices alias nothing: `out`
+                            // stays exclusively borrowed for the whole
+                            // `pool.scope`, which joins every task before
+                            // returning, and within one task the slice is
+                            // dropped before the next row's is formed.
                             let out_row = unsafe {
                                 std::slice::from_raw_parts_mut(base.0.add(i * n + j0), width)
                             };
                             for (k, &aik) in a_row[kb..k_end].iter().enumerate() {
+                                // audit:allow(float-eq): same exact-zero AXPY skip as the serial kernel, for bit parity
                                 if aik == 0.0 {
                                     continue;
                                 }
@@ -509,6 +533,7 @@ impl Mat {
         for i in 0..self.rows {
             for j in 0..self.cols {
                 let a = self[(i, j)];
+                // audit:allow(float-eq): exact-zero entry contributes nothing to the sparse product
                 if a == 0.0 {
                     continue;
                 }
@@ -669,13 +694,13 @@ mod tests {
     fn constructors_and_indexing() {
         let a = Mat::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
         assert_eq!(a.shape(), (2, 3));
-        assert_eq!(a[(1, 2)], 6.0);
+        assert_eq!((a[(1, 2)]).to_bits(), 6.0f64.to_bits());
         assert_eq!(a.row(0), &[1.0, 2.0, 3.0]);
         assert_eq!(a.col(1), vec![2.0, 5.0]);
         let d = Mat::from_diag(&[1.0, 2.0]);
-        assert_eq!(d[(1, 1)], 2.0);
-        assert_eq!(d[(0, 1)], 0.0);
-        assert_eq!(Mat::identity(3).trace(), 3.0);
+        assert_eq!((d[(1, 1)]).to_bits(), 2.0f64.to_bits());
+        assert_eq!((d[(0, 1)]).to_bits(), 0.0f64.to_bits());
+        assert_eq!((Mat::identity(3).trace()).to_bits(), 3.0f64.to_bits());
     }
 
     #[test]
@@ -725,7 +750,7 @@ mod tests {
             assert!(a.par_matmul_into(&Mat::zeros(3, 120), &mut narrow, &pool).is_err());
             let mut wide = Mat::zeros(2, 120);
             a.par_matmul_into(&Mat::zeros(3, 120), &mut wide, &pool).unwrap();
-            assert_eq!(wide.max_abs(), 0.0);
+            assert_eq!((wide.max_abs()).to_bits(), 0.0f64.to_bits());
         }
     }
 
@@ -743,7 +768,7 @@ mod tests {
         assert_eq!(empty.shape(), (2, 0));
         let zero_k = Mat::zeros(2, 0).matmul(&Mat::zeros(0, 3)).unwrap();
         assert_eq!(zero_k.shape(), (2, 3));
-        assert_eq!(zero_k.max_abs(), 0.0);
+        assert_eq!((zero_k.max_abs()).to_bits(), 0.0f64.to_bits());
     }
 
     #[test]
@@ -769,7 +794,7 @@ mod tests {
         let a = Mat::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
         let t = a.transpose();
         assert_eq!(t.shape(), (3, 2));
-        assert_eq!(t[(2, 1)], 6.0);
+        assert_eq!((t[(2, 1)]).to_bits(), 6.0f64.to_bits());
         let b = a.block(0, 1, 2, 2);
         assert_eq!(b, Mat::from_rows(&[&[2.0, 3.0], &[5.0, 6.0]]));
         let h = a.hstack(&a).unwrap();
@@ -778,8 +803,8 @@ mod tests {
         assert_eq!(v.shape(), (4, 3));
         let bd = Mat::block_diag(&[&Mat::identity(2), &Mat::filled(1, 1, 5.0)]);
         assert_eq!(bd.shape(), (3, 3));
-        assert_eq!(bd[(2, 2)], 5.0);
-        assert_eq!(bd[(0, 2)], 0.0);
+        assert_eq!((bd[(2, 2)]).to_bits(), 5.0f64.to_bits());
+        assert_eq!((bd[(0, 2)]).to_bits(), 0.0f64.to_bits());
     }
 
     #[test]
@@ -799,7 +824,7 @@ mod tests {
     fn norms_and_symmetry() {
         let a = Mat::from_rows(&[&[3.0, 0.0], &[0.0, 4.0]]);
         assert!((a.frobenius_norm() - 5.0).abs() < 1e-15);
-        assert_eq!(a.max_abs(), 4.0);
+        assert_eq!((a.max_abs()).to_bits(), 4.0f64.to_bits());
         assert!(a.is_symmetric(0.0));
         let b = Mat::from_rows(&[&[0.0, 1.0], &[2.0, 0.0]]);
         assert!(!b.is_symmetric(1e-12));
@@ -810,16 +835,16 @@ mod tests {
         let a = Mat::identity(2);
         let b = Mat::filled(2, 2, 2.0);
         let c = &a + &b;
-        assert_eq!(c[(0, 0)], 3.0);
+        assert_eq!((c[(0, 0)]).to_bits(), 3.0f64.to_bits());
         let d = &c - &b;
         assert!(d.max_abs_diff(&a) < 1e-15);
         let e = &a * 3.0;
-        assert_eq!(e[(1, 1)], 3.0);
+        assert_eq!((e[(1, 1)]).to_bits(), 3.0f64.to_bits());
         let mut f = a.clone();
         f += &b;
         f -= &b;
         assert!(f.max_abs_diff(&a) < 1e-15);
-        assert_eq!((-&a)[(0, 0)], -1.0);
+        assert_eq!(((-&a)[(0, 0)]).to_bits(), (-1.0f64).to_bits());
     }
 
     #[test]

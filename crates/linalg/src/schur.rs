@@ -131,6 +131,7 @@ fn qr_iterate(t: &mut CMat, mut u: Option<&mut CMat>) -> Result<()> {
             }
         }
         // Shrink the active block from the bottom while subdiagonals are zero.
+        // audit:allow(float-eq): deflation requires a bitwise-zero subdiagonal, set by the iteration
         while hi > 0 && t[(hi, hi - 1)].abs() == 0.0 {
             hi -= 1;
             iter_this_eig = 0;
@@ -140,6 +141,7 @@ fn qr_iterate(t: &mut CMat, mut u: Option<&mut CMat>) -> Result<()> {
         }
         // Find the top of the active (unreduced) block.
         let mut lo = hi;
+        // audit:allow(float-eq): active block ends at the bitwise-zero subdiagonal
         while lo > 0 && t[(lo, lo - 1)].abs() != 0.0 {
             lo -= 1;
         }

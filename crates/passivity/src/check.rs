@@ -581,7 +581,12 @@ mod tests {
         for strategy in [&CrossingRefined as &dyn SamplingStrategy, &Adaptive::default()] {
             let refined = strategy.refine(&pool, &m, &base, &crossings).unwrap();
             assert!(refined.points().iter().all(|&w| w >= 0.0), "{}", strategy.name());
-            assert_eq!(refined.points()[0], 0.0, "{}: DC point lost", strategy.name());
+            assert_eq!(
+                refined.points()[0].to_bits(),
+                0.0f64.to_bits(),
+                "{}: DC point lost",
+                strategy.name()
+            );
             let report = assess_with_sampling(&pool, &m, &base, strategy).unwrap();
             assert!(!report.passive, "{}: DC violation missed", strategy.name());
             assert!(

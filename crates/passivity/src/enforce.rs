@@ -345,6 +345,7 @@ pub fn enforce_asymptotic_passivity(
     let mut clipped = pim_linalg::CMat::zeros(p, p);
     for (idx, &sigma) in decomposition.singular_values.iter().enumerate() {
         let s = sigma.min(limit);
+        // audit:allow(float-eq): exact-zero shift means the eigenvalue is already on the boundary
         if s == 0.0 {
             continue;
         }
@@ -635,9 +636,11 @@ fn enforce_passivity_impl(
                     } else {
                         0.0
                     };
+                    // audit:allow(float-eq): step is assigned the literal 1.0 on the unclipped path
+                    let full_step = step == 1.0;
                     if rho < tr.eta_bad {
                         radius = Some((taken_norm * tr.shrink).max(radius_floor));
-                    } else if rho >= tr.eta_good && clipped && step == 1.0 {
+                    } else if rho >= tr.eta_good && clipped && full_step {
                         radius = Some(r * tr.grow);
                     }
                     robustness.final_radius = radius;
@@ -820,7 +823,7 @@ mod tests {
         let out = enforce_passivity(&model, &norm, 1000.0, &EnforcementConfig::default()).unwrap();
         assert_eq!(out.iterations, 0);
         assert!(out.report.passive);
-        assert_eq!(out.accumulated_norm, 0.0);
+        assert_eq!((out.accumulated_norm).to_bits(), 0.0f64.to_bits());
         for (a, b) in model.residues().iter().zip(out.model.residues()) {
             assert!(a.max_abs_diff(b) < 1e-15);
         }
@@ -870,7 +873,7 @@ mod tests {
             assert_eq!(a.to_bits(), b.to_bits());
         }
         for (a, b) in plain.model.residues().iter().zip(observed.model.residues()) {
-            assert_eq!(a.max_abs_diff(b), 0.0);
+            assert_eq!((a.max_abs_diff(b)).to_bits(), 0.0f64.to_bits());
         }
         // One event per outer iteration, consistent with the outcome.
         assert_eq!(obs.0.len(), observed.iterations);
@@ -1021,7 +1024,7 @@ mod tests {
             assert_eq!(x.to_bits(), y.to_bits());
         }
         for (x, y) in a.model.residues().iter().zip(b.model.residues()) {
-            assert_eq!(x.max_abs_diff(y), 0.0);
+            assert_eq!((x.max_abs_diff(y)).to_bits(), 0.0f64.to_bits());
         }
         assert!(!a.robustness.trust_region_engaged);
         assert_eq!(a.robustness.trust_region_clips, 0);

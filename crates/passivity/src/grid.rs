@@ -448,7 +448,10 @@ impl SamplingStrategy for Adaptive {
             }
             // Evaluate σ only at the genuinely new points, then rebuild the
             // σ array in grid order (old points keep their sampled values).
-            let old: std::collections::HashMap<u64, f64> =
+            // Keyed by the f64 bit pattern: exact lookup, and BTreeMap so no
+            // nondeterministic-order container sits in the sampling layer
+            // (the lookups below are keyed, but the invariant is cheap).
+            let old: std::collections::BTreeMap<u64, f64> =
                 grid.points().iter().zip(&sigmas).map(|(&w, &s)| (w.to_bits(), s)).collect();
             let missing: Vec<f64> = refined
                 .points()
@@ -460,7 +463,7 @@ impl SamplingStrategy for Adaptive {
                 .par_map(&missing, |_, &w| sigma_max_at(model, w))
                 .into_iter()
                 .collect::<Result<_>>()?;
-            let fresh_map: std::collections::HashMap<u64, f64> =
+            let fresh_map: std::collections::BTreeMap<u64, f64> =
                 missing.iter().zip(&fresh).map(|(&w, &s)| (w.to_bits(), s)).collect();
             sigmas = refined
                 .points()

@@ -18,7 +18,7 @@ use pim_statespace::PoleResidueModel;
 use std::fmt;
 
 /// Identifies a perturbation-norm family.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum NormKind {
     /// The standard (unweighted) L2 norm: plain controllability Gramians.
     Standard,
@@ -103,7 +103,7 @@ mod tests {
         assert_eq!(built.ports(), direct.ports());
         assert_eq!(built.states(), direct.states());
         for (a, b) in built.gramians().iter().zip(direct.gramians()) {
-            assert_eq!(a.max_abs_diff(b), 0.0);
+            assert_eq!((a.max_abs_diff(b)).to_bits(), 0.0f64.to_bits());
         }
     }
 

@@ -346,6 +346,7 @@ pub fn solve_block_qp_factored(
     // Primal recovery: x = −H⁻¹ Fᵀ λ.
     let mut x = vec![0.0_f64; n];
     for r in 0..m {
+        // audit:allow(float-eq): multipliers are set to literal 0.0 when a constraint deactivates
         if lambda[r] == 0.0 {
             continue;
         }
@@ -373,7 +374,7 @@ mod tests {
         let f = Mat::zeros(0, 2);
         let sol = solve_block_qp(&blocks, &f, &[], &QpOptions::default()).unwrap();
         assert_eq!(sol.x, vec![0.0, 0.0]);
-        assert_eq!(sol.objective, 0.0);
+        assert_eq!((sol.objective).to_bits(), 0.0f64.to_bits());
     }
 
     #[test]
@@ -406,7 +407,7 @@ mod tests {
         // Both constraints are satisfied at x = 0 (g >= 0): optimum stays 0.
         let sol = solve_block_qp(&blocks, &f, &[1.0, 2.0], &QpOptions::default()).unwrap();
         assert!(sol.x.iter().all(|v| v.abs() < 1e-12));
-        assert!(sol.multipliers.iter().all(|&l| l == 0.0));
+        assert!(sol.multipliers.iter().all(|&l| l.to_bits() == 0.0f64.to_bits()));
     }
 
     #[test]

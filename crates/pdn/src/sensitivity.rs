@@ -232,6 +232,7 @@ pub fn sensitivity_to_weights(sensitivity: &[f64], floor: f64) -> Result<Vec<f64
         ));
     }
     let max = sensitivity.iter().fold(0.0_f64, |a, &b| a.max(b));
+    // audit:allow(float-eq): an all-zero sensitivity vector cannot be normalised
     if max == 0.0 {
         return Err(PdnError::InvalidInput("sensitivity profile is identically zero".into()));
     }
@@ -395,9 +396,9 @@ mod tests {
     #[test]
     fn weights_normalization_and_floor() {
         let w = sensitivity_to_weights(&[4.0, 2.0, 0.0], 0.1).unwrap();
-        assert_eq!(w[0], 1.0);
-        assert_eq!(w[1], 0.5);
-        assert_eq!(w[2], 0.1);
+        assert_eq!((w[0]).to_bits(), 1.0f64.to_bits());
+        assert_eq!((w[1]).to_bits(), 0.5f64.to_bits());
+        assert_eq!((w[2]).to_bits(), 0.1f64.to_bits());
         assert!(sensitivity_to_weights(&[], 0.0).is_err());
         assert!(sensitivity_to_weights(&[0.0, 0.0], 0.0).is_err());
         assert!(sensitivity_to_weights(&[1.0, f64::NAN], 0.0).is_err());

@@ -34,6 +34,17 @@ impl ProptestConfig {
     pub fn with_cases(cases: u32) -> Self {
         Self { cases }
     }
+
+    /// The effective case count: the configured count, capped by the
+    /// `PIM_PROPTEST_CASES` environment variable when set. Sanitizer runs
+    /// (Miri, TSan) use the cap to keep interpreted/instrumented execution
+    /// inside CI timeouts without forking the test sources.
+    pub fn effective_cases(&self) -> u32 {
+        match std::env::var("PIM_PROPTEST_CASES").ok().and_then(|v| v.parse().ok()) {
+            Some(cap) => self.cases.min(cap),
+            None => self.cases,
+        }
+    }
 }
 
 impl Default for ProptestConfig {
@@ -227,12 +238,13 @@ macro_rules! proptest {
             #[test]
             fn $name() {
                 let config: $crate::ProptestConfig = $cfg;
+                let cases = config.effective_cases();
                 let mut rng = $crate::TestRng::seed_from_u64($crate::seed_for(stringify!($name)));
-                for case in 0..config.cases {
+                for case in 0..cases {
                     let ($($arg,)+) = ($($crate::Strategy::generate(&$strategy, &mut rng),)+);
                     let run = || -> () { $body };
                     if ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run)).is_err() {
-                        panic!("property {} failed on case {} of {}", stringify!($name), case + 1, config.cases);
+                        panic!("property {} failed on case {} of {}", stringify!($name), case + 1, cases);
                     }
                 }
             }

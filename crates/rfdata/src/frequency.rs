@@ -204,10 +204,10 @@ mod tests {
     #[test]
     fn lin_space_and_with_dc() {
         let g = FrequencyGrid::lin_space(0.0, 10.0, 11).unwrap();
-        assert_eq!(g.freqs_hz()[3], 3.0);
+        assert_eq!((g.freqs_hz()[3]).to_bits(), 3.0f64.to_bits());
         let g2 = FrequencyGrid::log_space(1.0, 100.0, 3).unwrap().with_dc();
         assert_eq!(g2.len(), 4);
-        assert_eq!(g2.freqs_hz()[0], 0.0);
+        assert_eq!((g2.freqs_hz()[0]).to_bits(), 0.0f64.to_bits());
         // Idempotent.
         assert_eq!(g2.clone().with_dc(), g2);
     }
@@ -248,7 +248,7 @@ mod tests {
     fn iteration() {
         let g = FrequencyGrid::from_hz(vec![1.0, 2.0, 3.0]).unwrap();
         let s: f64 = (&g).into_iter().sum();
-        assert_eq!(s, 6.0);
+        assert_eq!((s).to_bits(), 6.0f64.to_bits());
         assert_eq!(g.iter().count(), 3);
         assert!(!g.is_empty());
     }

@@ -113,6 +113,7 @@ pub fn relative_rms_error(reference: &[Complex64], candidate: &[Complex64]) -> R
     }
     let num: f64 = reference.iter().zip(candidate).map(|(r, c)| (*r - *c).abs_sq()).sum();
     let den: f64 = reference.iter().map(|r| r.abs_sq()).sum();
+    // audit:allow(float-eq): exact-zero reference energy cannot be used as a divisor
     if den == 0.0 {
         return Err(RfDataError::Inconsistent("reference vector is identically zero".into()));
     }
@@ -158,9 +159,12 @@ mod tests {
     #[test]
     fn zero_error_for_identical_data() {
         let a = data_with_offset(0.0);
-        assert_eq!(rms_error(&a, &a).unwrap(), 0.0);
-        assert_eq!(max_error(&a, &a).unwrap(), 0.0);
-        assert!(per_frequency_error(&a, &a).unwrap().iter().all(|&e| e == 0.0));
+        assert_eq!((rms_error(&a, &a).unwrap()).to_bits(), 0.0f64.to_bits());
+        assert_eq!((max_error(&a, &a).unwrap()).to_bits(), 0.0f64.to_bits());
+        assert!(per_frequency_error(&a, &a)
+            .unwrap()
+            .iter()
+            .all(|&e| e.to_bits() == 0.0f64.to_bits()));
     }
 
     #[test]
@@ -206,7 +210,7 @@ mod tests {
         let c = vec![Complex64::new(1.1, 0.0), Complex64::new(0.0, 2.0)];
         let e = relative_rms_error(&r, &c).unwrap();
         assert!((e - (0.01f64 / 5.0).sqrt()).abs() < 1e-12);
-        assert_eq!(relative_rms_error(&r, &r).unwrap(), 0.0);
+        assert_eq!((relative_rms_error(&r, &r).unwrap()).to_bits(), 0.0f64.to_bits());
         assert!(relative_rms_error(&r, &c[..1]).is_err());
         assert!(relative_rms_error(&[], &[]).is_err());
         let zeros = vec![Complex64::ZERO; 2];

@@ -200,12 +200,27 @@ impl<'env> Scope<'env> {
             }
         };
         let task: Box<dyn FnOnce() + Send + 'env> = Box::new(wrapped);
-        // SAFETY: the scope that spawned this task blocks (in
-        // `ThreadPool::wait_scope`) until `pending` returns to zero, which
-        // happens strictly after the closure has run to completion — every
-        // `'env` borrow it captures is therefore live for as long as the
-        // task can possibly execute. Box<dyn FnOnce> fat pointers have the
-        // same layout for both lifetimes.
+        // SAFETY: lifetime erasure `'env → 'static`, sound on two grounds.
+        //
+        // Scope outlives the task: `pending` was incremented above, before
+        // the task becomes reachable by any worker, and is decremented only
+        // after the closure has returned (or its panic was captured). Every
+        // path out of `ThreadPool::scope` — normal return, task panic, or a
+        // panic in the scope body itself — runs `wait_scope`, which blocks
+        // the caller until `pending` is zero again. The `'env` borrows the
+        // closure captures are borrows of that caller's environment, so they
+        // remain live for strictly longer than any point at which the task
+        // can execute; no worker can observe a dangling `'env` reference.
+        // (`Scope` is invariant over `'env` via its PhantomData, so the
+        // borrow checker cannot shorten the environment region under us.)
+        //
+        // Representation: the transmute only changes the *lifetime bound* of
+        // the trait object, `Box<dyn FnOnce() + Send + 'env>` to
+        // `Box<dyn FnOnce() + Send + 'static>`. Both are fat pointers of
+        // identical layout — (data pointer, vtable pointer) — and the
+        // vtable is for the same underlying closure type; lifetimes have no
+        // runtime representation, so the bit pattern is reinterpreted, not
+        // altered.
         let task: Task = unsafe { std::mem::transmute(task) };
         self.pool.push_task(task);
     }

@@ -144,6 +144,7 @@ pub fn fit_magnitude(
         ));
     }
     let max_mag = magnitudes.iter().fold(0.0_f64, |a, &b| a.max(b));
+    // audit:allow(float-eq): an all-zero response cannot be magnitude-normalised
     if max_mag == 0.0 {
         return Err(VectFitError::InvalidInput("all magnitude samples are zero".into()));
     }
@@ -154,6 +155,7 @@ pub fn fit_magnitude(
     let gs_raw: Vec<f64> = magnitudes.iter().map(|m| (m * m).max(floor_raw)).collect();
     let x_max = xs_raw.iter().fold(0.0_f64, |a, &b| a.max(b));
     let x_min_nz = xs_raw.iter().copied().filter(|&x| x > 0.0).fold(f64::INFINITY, f64::min);
+    // audit:allow(float-eq): exact-zero maximum abscissa makes the log map degenerate
     if !x_max.is_finite() || x_max == 0.0 || !x_min_nz.is_finite() {
         return Err(VectFitError::InvalidInput(
             "frequency samples must span a positive band".into(),
@@ -189,6 +191,7 @@ pub fn fit_magnitude(
         // nonzero imaginary part, which is perfectly legitimate. Only real
         // positive poles are reflected.
         for pole in &mut q {
+            // audit:allow(float-eq): real poles carry a bitwise-zero imaginary part by construction
             if pole.im == 0.0 && pole.re > 0.0 {
                 pole.re = -pole.re;
             }
@@ -412,6 +415,7 @@ fn expand_partial_fractions(
                 den *= pi - pj;
             }
         }
+        // audit:allow(float-eq): evaluation exactly on a pole must take the limit branch
         if den.abs() == 0.0 {
             return Err(VectFitError::FitFailed(
                 "repeated poles in the spectral factor; partial fraction expansion failed".into(),

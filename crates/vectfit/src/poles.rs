@@ -221,9 +221,9 @@ mod tests {
         // A single complex eigenvalue without a partner degrades to real.
         let sym = symmetrize_spectrum(&[Complex64::new(-2.0, 5.0)]);
         assert_eq!(sym.len(), 1);
-        assert_eq!(sym[0].im, 0.0);
+        assert_eq!((sym[0].im).to_bits(), 0.0f64.to_bits());
         let sym2 = symmetrize_spectrum(&[Complex64::new(-2.0, -5.0)]);
-        assert_eq!(sym2[0].im, 0.0);
+        assert_eq!((sym2[0].im).to_bits(), 0.0f64.to_bits());
     }
 
     #[test]
@@ -231,7 +231,7 @@ mod tests {
         let mut poles = vec![Complex64::new(3.0, 4.0), Complex64::new(-1.0, 0.0)];
         flip_unstable(&mut poles);
         assert!(poles.iter().all(|p| p.re <= 0.0));
-        assert_eq!(poles[0].im, 4.0);
+        assert_eq!((poles[0].im).to_bits(), 4.0f64.to_bits());
     }
 
     #[test]

@@ -25,6 +25,7 @@ fn main() -> Result<(), PimError> {
         "freq (Hz)", "Xi analytic", "Xi MonteCarlo", "|Xi~| model"
     );
     for (k, &f) in sc.data.grid().freqs_hz().iter().enumerate().step_by(8) {
+        // audit:allow(float-eq): the DC sample is stored as a literal 0.0 by the grid builder
         if f == 0.0 {
             continue;
         }

@@ -162,7 +162,7 @@ fn staged_pipeline_is_bit_identical_to_run_flow() {
     }
     // Stage caching: the scrambled calls above must not have re-run any
     // stage — one start event per distinct stage.
-    let mut seen = std::collections::HashSet::new();
+    let mut seen = std::collections::BTreeSet::new();
     for stage in &trace.started {
         assert!(seen.insert(*stage), "stage {stage} ran twice");
     }
